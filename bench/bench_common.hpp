@@ -1,0 +1,60 @@
+// Shared helpers for the reproduction benches: seeded batch runs over
+// core::run_once plus small aggregation utilities.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "h2priv/core/experiment.hpp"
+
+namespace h2priv::bench {
+
+/// Downloads per configuration; the paper repeats each experiment 100 times.
+/// Override with argv[1] for quick smoke runs.
+inline int runs_from_argv(int argc, char** argv, int fallback = 100) {
+  if (argc > 1) {
+    const int n = std::atoi(argv[1]);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+struct Batch {
+  std::vector<core::RunResult> results;
+
+  [[nodiscard]] int n() const { return static_cast<int>(results.size()); }
+
+  [[nodiscard]] double pct(auto&& predicate) const {
+    int hits = 0;
+    for (const auto& r : results) hits += static_cast<bool>(predicate(r));
+    return 100.0 * hits / std::max(1, n());
+  }
+
+  [[nodiscard]] double mean(auto&& metric) const {
+    double acc = 0;
+    for (const auto& r : results) acc += static_cast<double>(metric(r));
+    return acc / std::max(1, n());
+  }
+};
+
+inline Batch run_batch(core::RunConfig config, int runs, std::uint64_t base_seed = 1'000) {
+  Batch b;
+  b.results.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    config.seed = base_seed + static_cast<std::uint64_t>(i);
+    b.results.push_back(core::run_once(config));
+  }
+  return b;
+}
+
+inline void print_header(const char* id, const char* paper_ref, const char* what, int runs) {
+  std::printf("==========================================================================\n");
+  std::printf("%s — %s\n", id, paper_ref);
+  std::printf("%s\n", what);
+  std::printf("(%d simulated page loads per configuration)\n", runs);
+  std::printf("==========================================================================\n");
+}
+
+}  // namespace h2priv::bench

@@ -1,0 +1,83 @@
+// Extension (paper §VII, "Improving the Adversary"): inferring object
+// identities when bursts are only partly separable.
+//
+// Our delimiter-based estimator reads response-HEADERS records as object
+// boundaries, which makes sizes exact whenever transmissions serialize. A
+// hardened server could coalesce or pad its header frames, leaving a weaker
+// observer with only time-gap segmentation — adjacent responses then merge
+// into one burst and the exact catalog match fails. This bench shows the
+// subset-sum matcher recovering identities from those merged bursts: the
+// paper's "possible, at the cost of more complex analysis" observation.
+#include <set>
+
+#include "bench_common.hpp"
+#include "h2priv/core/partial_matcher.hpp"
+
+using namespace h2priv;
+
+int main(int argc, char** argv) {
+  const int runs = bench::runs_from_argv(argc, argv, 60);
+  bench::print_header("Extension", "partial-multiplexing inference (paper SSVII)",
+                      "Gap-only segmentation: exact match vs subset-sum explanations", runs);
+
+  // Gap-only segmentation: no record-size delimiters, 60 ms idle splits.
+  analysis::BurstConfig gap_only;
+  gap_only.delimiter_max_bytes = 0;
+  gap_only.gap_threshold = util::milliseconds(60);
+
+  // Objects of interest and their labels.
+  const analysis::SizeCatalog catalog = core::isidewith_catalog();
+  // Each serialized response also carries ~70 bytes of header/frame overhead
+  // that gap-only segmentation cannot strip.
+  const core::PartialMatcher matcher(catalog, /*per_object_overhead=*/70);
+
+  core::RunConfig cfg;
+  cfg.attack_enabled = true;
+  const bench::Batch batch = bench::run_batch(cfg, runs);
+
+  double exact_hits = 0, subset_hits = 0, merged_bursts = 0;
+  for (const auto& r : batch.results) {
+    // Re-segment the adversary's record log with the weaker config. The
+    // debug bursts carry the strong segmentation; rebuild from scratch is
+    // not exposed, so approximate: merge debug bursts whose inter-burst gap
+    // is below the 60 ms threshold (equivalent for serialized phases).
+    std::vector<analysis::EstimatedObject> merged;
+    for (const auto& burst : r.debug_bursts) {
+      if (!merged.empty() &&
+          burst.first_record - merged.back().last_record < gap_only.gap_threshold) {
+        merged.back().wire_bytes += burst.wire_bytes;
+        merged.back().body_estimate += burst.body_estimate;
+        merged.back().record_count += burst.record_count;
+        merged.back().last_record = burst.last_record;
+      } else {
+        merged.push_back(burst);
+      }
+    }
+
+    std::set<std::string> exact_found, subset_found;
+    for (const auto& burst : merged) {
+      if (burst.record_count > 1 && burst.body_estimate != 0) ++merged_bursts;
+      if (const auto entry = catalog.match(burst.body_estimate, 200, 0.012)) {
+        exact_found.insert(entry->label);
+        subset_found.insert(entry->label);
+      } else {
+        for (const std::string& label :
+             matcher.certain_members(burst.body_estimate, 350, 3)) {
+          subset_found.insert(label);
+        }
+      }
+    }
+    exact_hits += static_cast<double>(exact_found.size());
+    subset_hits += static_cast<double>(subset_found.size());
+  }
+
+  std::printf("objects of interest identified per run (of 9):\n");
+  std::printf("  exact catalog match only   : %.2f\n", exact_hits / batch.n());
+  std::printf("  + subset-sum explanations  : %.2f\n", subset_hits / batch.n());
+  std::printf("  (gap-merged multi-object bursts seen per run: %.1f)\n\n",
+              merged_bursts / batch.n());
+  std::printf("reading: without record delimiters, back-to-back responses merge and the\n"
+              "exact match loses targets; explaining merged bursts as sums of catalog\n"
+              "sizes recovers a share of them (ambiguous sums are refused, not guessed).\n");
+  return 0;
+}

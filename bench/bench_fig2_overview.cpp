@@ -1,0 +1,35 @@
+// Figure 2 — high-level adversary overview: holding back the GET for O2 by
+// an extra delay d lets the server finish O1 first.
+//
+// Sweeps the request spacing d and reports the degree of multiplexing of the
+// object of interest (the results HTML): DoM collapses to 0 once d exceeds
+// the object's service window.
+#include "bench_common.hpp"
+
+using namespace h2priv;
+
+int main(int argc, char** argv) {
+  const int runs = bench::runs_from_argv(argc, argv, 50);
+  bench::print_header("Figure 2", "Mitra et al., DSN'20, Section III",
+                      "Inter-request spacing d vs degree of multiplexing of the target",
+                      runs);
+
+  std::printf("%-14s | %-18s | %-22s | %-16s\n", "spacing d (ms)", "mean DoM(target)",
+              "runs with DoM == 0 (%)", "page load (s)");
+  std::printf("---------------+--------------------+------------------------+----------------\n");
+  for (const long ms : {0L, 10L, 25L, 50L, 80L, 100L, 130L, 160L, 200L}) {
+    core::RunConfig cfg;
+    if (ms > 0) cfg.manual_spacing = util::milliseconds(ms);
+    const bench::Batch batch = bench::run_batch(cfg, runs);
+    std::printf("%-14ld | %-18.3f | %-22.0f | %-16.2f\n", ms,
+                batch.mean([](const core::RunResult& r) {
+                  return r.html.primary_dom.value_or(0.0);
+                }),
+                batch.pct([](const core::RunResult& r) { return r.html.serialized_primary; }),
+                batch.mean([](const core::RunResult& r) { return r.page_load_seconds; }));
+  }
+  std::printf("\nexpected shape: spacing must beat BOTH the target's ~25 ms generation\n"
+              "window AND the re-request storms it provokes (Fig. 4); DoM therefore stays\n"
+              "elevated through the mid range and collapses once d exceeds ~100 ms.\n");
+  return 0;
+}

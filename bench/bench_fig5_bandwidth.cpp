@@ -1,0 +1,51 @@
+// Figure 5 — "Effect of bandwidth limitation on multiplexing" (Section IV-C):
+// with 50 ms request spacing active, sweep the adversary's bandwidth cap
+// over {unshaped, 800, 500, 100, 5, 1} Mbps and report
+//   - retransmission events (the paper's solid line),
+//   - attack success on the object of interest (dashed line), and
+//   - the share of successes attributable to a retransmitted copy (the
+//     artefact the paper highlights below 800 Mbps).
+#include "bench_common.hpp"
+
+using namespace h2priv;
+
+int main(int argc, char** argv) {
+  const int runs = bench::runs_from_argv(argc, argv);
+  bench::print_header("Figure 5", "Mitra et al., DSN'20, Section IV-C",
+                      "Bandwidth sweep with 50 ms request spacing applied", runs);
+
+  std::printf("%-16s | %-16s | %-14s | %-22s | %-12s\n", "bandwidth (Mbps)",
+              "retransmissions", "success (%)", "success via copy (%)", "broken (%)");
+  std::printf("-----------------+------------------+----------------+------------------------+-------------\n");
+
+  const long caps_mbps[] = {0, 800, 500, 100, 5, 1};  // 0 = unshaped (1000)
+  for (const long mbps : caps_mbps) {
+    core::RunConfig cfg;
+    cfg.manual_spacing = util::milliseconds(50);
+    if (mbps > 0) cfg.manual_bandwidth = util::megabits_per_second(mbps);
+    cfg.deadline = util::seconds(90);
+    const bench::Batch batch = bench::run_batch(cfg, runs);
+
+    std::printf("%-16s | %-16.1f | %-14.0f | %-22.0f | %-12.0f\n",
+                mbps == 0 ? "1000 (unshaped)" : std::to_string(mbps).c_str(),
+                batch.mean([](const core::RunResult& r) {
+                  return r.retransmission_events();
+                }),
+                batch.pct([](const core::RunResult& r) {
+                  return r.html.any_serialized_copy && r.html.identified;
+                }),
+                batch.pct([](const core::RunResult& r) {
+                  return r.html.any_serialized_copy && r.html.identified &&
+                         !r.html.serialized_primary;
+                }),
+                batch.pct([](const core::RunResult& r) { return r.broken; }));
+  }
+
+  std::printf("\npaper shape: retransmissions fall monotonically with the cap; success\n"
+              "peaks at 800 Mbps; below ~1 Mbps the connection breaks. In our cleaner\n"
+              "emulation the 800/500/100 Mbps caps do not bind (a ~1 MB page on a 40 ms\n"
+              "path never exceeds ~100 Mbps), so the mid-range stays flat; the endpoints\n"
+              "(800 Mbps harmless, ~1 Mbps breaking transfers) match the paper. See\n"
+              "EXPERIMENTS.md.\n");
+  return 0;
+}

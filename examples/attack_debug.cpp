@@ -1,0 +1,96 @@
+// Developer diagnostics: dump per-object outcomes and the post-reset burst
+// timeline for one attacked run. Not part of the paper reproduction per se,
+// but invaluable when tuning the adversary.
+#include <cstdio>
+#include <cstdlib>
+
+#include "h2priv/core/experiment.hpp"
+
+using namespace h2priv;
+
+int main(int argc, char** argv) {
+  core::RunConfig cfg;
+  cfg.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  cfg.attack_enabled = true;
+
+  if (argc > 2) {  // summary mode: attack_debug <base_seed> <runs> [baseline]
+    const int runs = std::atoi(argv[2]);
+    const std::uint64_t base_seed = std::strtoull(argv[1], nullptr, 10);
+    if (argc > 3) {
+      cfg.attack_enabled = false;
+      const int spacing_ms = std::atoi(argv[3]);  // "baseline" parses as 0
+      if (spacing_ms > 0) cfg.manual_spacing = util::milliseconds(spacing_ms);
+      if (argc > 4) {
+        cfg.manual_bandwidth = util::megabits_per_second(std::atoi(argv[4]));
+      }
+    }
+    int complete = 0, broken = 0, html_ok = 0, html_serial = 0;
+    int pos_ok[web::kPartyCount] = {};
+    double rerequests = 0, resets = 0, retx = 0, burst_drops = 0;
+    int html_not_muxed = 0;
+    for (int i = 0; i < runs; ++i) {
+      cfg.seed = base_seed + static_cast<std::uint64_t>(i);
+      const core::RunResult r = core::run_once(cfg);
+      complete += r.page_complete;
+      broken += r.broken;
+      html_ok += r.html.attack_success;
+      html_serial += r.html.any_serialized_copy;
+      html_not_muxed += r.html.serialized_primary;
+      rerequests += static_cast<double>(r.browser_rerequests);
+      resets += static_cast<double>(r.reset_episodes);
+      retx += static_cast<double>(r.retransmission_events());
+      burst_drops += static_cast<double>(r.egress_burst_drops);
+      for (int p = 0; p < web::kPartyCount; ++p) {
+        pos_ok[p] += r.emblems_by_position[static_cast<std::size_t>(p)].attack_success;
+      }
+    }
+    std::printf("runs=%d complete=%d broken=%d html_success=%d html_serialized=%d "
+                "html_primary_serial=%d avg_rerequests=%.1f avg_resets=%.2f avg_retx=%.1f\n",
+                runs, complete, broken, html_ok, html_serial, html_not_muxed,
+                rerequests / runs, resets / runs, retx / runs);
+    std::printf("avg_burst_drops=%.1f\n", burst_drops / runs);
+    std::printf("per-position success: ");
+    for (int p = 0; p < web::kPartyCount; ++p) std::printf("%d ", pos_ok[p]);
+    std::printf("\n");
+    return 0;
+  }
+
+  const core::RunResult r = core::run_once(cfg);
+  std::printf("page_complete=%d broken=%d load=%.2fs rerequests=%llu resets=%llu\n",
+              r.page_complete, r.broken, r.page_load_seconds,
+              static_cast<unsigned long long>(r.browser_rerequests),
+              static_cast<unsigned long long>(r.reset_episodes));
+  std::printf("html: dom=%s serialized_copy=%d identified=%d\n",
+              r.html.primary_dom ? std::to_string(*r.html.primary_dom).c_str() : "n/a",
+              r.html.any_serialized_copy, r.html.identified);
+  for (int pos = 0; pos < web::kPartyCount; ++pos) {
+    const auto& o = r.emblems_by_position[static_cast<std::size_t>(pos)];
+    std::printf("pos %d: %s size=%zu dom=%s serialized_copy=%d success=%d\n", pos,
+                o.label.c_str(), o.true_size,
+                o.primary_dom ? std::to_string(*o.primary_dom).c_str() : "n/a",
+                o.any_serialized_copy, o.attack_success);
+  }
+
+  // Ground-truth instance dump for the emblems and the HTML (object id 6).
+  for (const auto& inst : r.truth->instances()) {
+    if (inst.object_id >= 41 || inst.object_id == 6) {
+      std::printf("instance obj=%u stream=%u dup=%d complete=%d bytes=%llu dom=%.3f  data:",
+                  inst.object_id, inst.stream_id, inst.duplicate, inst.complete,
+                  static_cast<unsigned long long>(inst.data_bytes()),
+                  r.truth->degree_of_multiplexing(inst.id));
+      for (const auto& iv : inst.data) {
+        std::printf(" [%llu,%llu)", static_cast<unsigned long long>(iv.begin),
+                    static_cast<unsigned long long>(iv.end));
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Post-horizon burst timeline as the adversary's predictor sees it.
+  std::printf("\nbursts after reset horizon (t=%.2fs):\n", r.attack_horizon_seconds);
+  for (const auto& b : r.debug_bursts) {
+    std::printf("  t=%8.3fs  records=%3zu  wire=%7zu  body_est=%7zu\n",
+                b.first_record.seconds(), b.record_count, b.wire_bytes, b.body_estimate);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Defense evaluation (the paper's conclusion + future-work directions):
+// how do candidate defenses fare against a passive eavesdropper and against
+// the active serialization attack?
+//
+//   1. none          — sequential (HTTP/1.1-style) server, no obfuscation
+//   2. multiplexing  — round-robin HTTP/2 server (the defense the paper breaks)
+//   3. mux + padding — multiplexing plus padding the sensitive objects to one
+//                      common size (defeats the size catalog outright)
+//
+//   $ ./examples/defense_eval [runs]
+#include <cstdio>
+#include <cstdlib>
+
+#include "h2priv/core/experiment.hpp"
+#include "h2priv/server/h2_server.hpp"
+
+using namespace h2priv;
+
+namespace {
+
+struct Defense {
+  const char* name;
+  server::InterleavePolicy policy;
+  bool pad;
+  bool push;
+};
+
+struct Score {
+  double html_identified = 0;
+  double positions = 0;
+  double overhead_bytes = 0;
+};
+
+Score evaluate(const Defense& defense, bool active, int runs) {
+  core::RunConfig cfg;
+  cfg.server.policy = defense.policy;
+  cfg.pad_sensitive_objects = defense.pad;
+  cfg.push_emblems = defense.push;
+  cfg.attack_enabled = active;
+  Score score;
+  for (int i = 0; i < runs; ++i) {
+    cfg.seed = 9'000 + static_cast<std::uint64_t>(i);
+    const core::RunResult r = core::run_once(cfg);
+    score.html_identified +=
+        (r.html.any_serialized_copy && r.html.identified) ? 1.0 : 0.0;
+    score.positions += r.sequence_positions_correct;
+  }
+  score.html_identified = 100.0 * score.html_identified / runs;
+  score.positions /= runs;
+  return score;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int runs = argc > 1 ? std::atoi(argv[1]) : 30;
+  std::printf("defense_eval: %d runs per cell. 'HTML id' = results page identified;\n"
+              "'rank' = mean survey positions recovered out of 8.\n\n", runs);
+
+  const Defense defenses[] = {
+      {"none (sequential)", server::InterleavePolicy::kSequential, false, false},
+      {"multiplexing", server::InterleavePolicy::kRoundRobin, false, false},
+      {"mux + padding", server::InterleavePolicy::kRoundRobin, true, false},
+      {"mux + random push", server::InterleavePolicy::kRoundRobin, false, true},
+  };
+
+  // Padding cost: pad HTML + 8 emblems to a common 16,600 bytes.
+  const web::IsideWithSite plain = web::build_isidewith_site(false);
+  const web::IsideWithSite padded = web::build_isidewith_site(true);
+  std::size_t plain_bytes = 0, padded_bytes = 0;
+  for (const auto& o : plain.site.objects()) plain_bytes += o.size;
+  for (const auto& o : padded.site.objects()) padded_bytes += o.size;
+
+  std::printf("%-20s | %-26s | %-26s\n", "", "passive eavesdropper", "active adversary (DSN'20)");
+  std::printf("%-20s | %-12s | %-10s | %-12s | %-10s\n", "defense", "HTML id (%)",
+              "rank /8", "HTML id (%)", "rank /8");
+  std::printf("---------------------+--------------+-----------+--------------+-----------\n");
+  for (const Defense& defense : defenses) {
+    const Score passive = evaluate(defense, false, runs);
+    const Score active = evaluate(defense, true, runs);
+    std::printf("%-20s | %-12.0f | %-10.1f | %-12.0f | %-10.1f\n", defense.name,
+                passive.html_identified, passive.positions, active.html_identified,
+                active.positions);
+  }
+
+  std::printf("\npadding overhead: %.1f%% more page bytes (%zu -> %zu)\n",
+              100.0 * (static_cast<double>(padded_bytes) / static_cast<double>(plain_bytes) - 1.0),
+              plain_bytes, padded_bytes);
+  std::printf("\nreading: multiplexing stops the passive attack but NOT the active one\n"
+              "(the paper's thesis). Padding kills the size side-channel at a bandwidth\n"
+              "cost; randomized server push (the paper's §VII idea) lets objects stay\n"
+              "identifiable but hides the ORDER — the actual secret here.\n");
+  return 0;
+}

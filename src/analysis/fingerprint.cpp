@@ -1,0 +1,66 @@
+#include "h2priv/analysis/fingerprint.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace h2priv::analysis {
+
+SizeProfile profile_from_bursts(const std::vector<EstimatedObject>& bursts) {
+  SizeProfile profile;
+  profile.reserve(bursts.size());
+  for (const EstimatedObject& b : bursts) profile.push_back(b.body_estimate);
+  std::sort(profile.begin(), profile.end());
+  return profile;
+}
+
+double profile_distance(const SizeProfile& a, const SizeProfile& b) {
+  // Both sorted: sweep-merge greedy matching. Pairs within a factor-of-two
+  // window match at |Δsize|; leftovers cost their own size.
+  double cost = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const auto x = static_cast<double>(a[i]);
+    const auto y = static_cast<double>(b[j]);
+    if (x < y * 0.5) {
+      cost += x;  // unmatched small burst in a
+      ++i;
+    } else if (y < x * 0.5) {
+      cost += y;
+      ++j;
+    } else {
+      cost += std::abs(x - y);
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.size(); ++i) cost += static_cast<double>(a[i]);
+  for (; j < b.size(); ++j) cost += static_cast<double>(b[j]);
+  return cost;
+}
+
+void Fingerprinter::train(const std::string& label, SizeProfile profile) {
+  traces_.push_back(Trace{label, std::move(profile)});
+}
+
+Fingerprinter::Verdict Fingerprinter::classify_with_margin(const SizeProfile& probe) const {
+  Verdict v;
+  v.best_distance = std::numeric_limits<double>::infinity();
+  v.runner_up_distance = std::numeric_limits<double>::infinity();
+  for (const Trace& t : traces_) {
+    const double d = profile_distance(probe, t.profile);
+    if (d < v.best_distance) {
+      if (t.label != v.label) v.runner_up_distance = v.best_distance;
+      v.best_distance = d;
+      v.label = t.label;
+    } else if (t.label != v.label && d < v.runner_up_distance) {
+      v.runner_up_distance = d;
+    }
+  }
+  return v;
+}
+
+std::string Fingerprinter::classify(const SizeProfile& probe) const {
+  return classify_with_margin(probe).label;
+}
+
+}  // namespace h2priv::analysis

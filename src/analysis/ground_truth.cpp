@@ -1,0 +1,122 @@
+#include "h2priv/analysis/ground_truth.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace h2priv::analysis {
+
+std::uint64_t ResponseInstance::data_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const ByteInterval& iv : data) total += iv.size();
+  return total;
+}
+
+std::optional<ByteInterval> ResponseInstance::span() const noexcept {
+  if (data.empty()) return std::nullopt;
+  ByteInterval s{data.front().begin, data.front().end};
+  for (const ByteInterval& iv : data) {
+    s.begin = std::min(s.begin, iv.begin);
+    s.end = std::max(s.end, iv.end);
+  }
+  return s;
+}
+
+InstanceId GroundTruth::register_instance(web::ObjectId object, std::uint32_t stream_id,
+                                          bool duplicate) {
+  ResponseInstance inst;
+  inst.id = instances_.size() + 1;
+  inst.object_id = object;
+  inst.stream_id = stream_id;
+  inst.duplicate = duplicate;
+  instances_.push_back(std::move(inst));
+  return instances_.back().id;
+}
+
+const ResponseInstance& GroundTruth::instance(InstanceId id) const {
+  if (id == 0 || id > instances_.size()) {
+    throw std::out_of_range("GroundTruth: bad instance id " + std::to_string(id));
+  }
+  return instances_[id - 1];
+}
+
+void GroundTruth::record_data(InstanceId id, h2::WireSpan span) {
+  if (span.size() == 0) return;
+  instances_.at(id - 1).data.push_back(ByteInterval{span.begin, span.end});
+}
+
+void GroundTruth::record_headers(InstanceId id, h2::WireSpan span) {
+  if (span.size() == 0) return;
+  instances_.at(id - 1).headers.push_back(ByteInterval{span.begin, span.end});
+}
+
+void GroundTruth::mark_complete(InstanceId id) {
+  instances_.at(id - 1).complete = true;
+}
+
+const ResponseInstance* GroundTruth::primary_instance(web::ObjectId object) const {
+  for (const ResponseInstance& inst : instances_) {
+    if (inst.object_id == object && !inst.duplicate) return &inst;
+  }
+  return nullptr;
+}
+
+std::vector<const ResponseInstance*> GroundTruth::instances_of(web::ObjectId object) const {
+  std::vector<const ResponseInstance*> out;
+  for (const ResponseInstance& inst : instances_) {
+    if (inst.object_id == object) out.push_back(&inst);
+  }
+  return out;
+}
+
+double GroundTruth::degree_of_multiplexing(InstanceId id) const {
+  const ResponseInstance& self = instance(id);
+  const std::uint64_t total = self.data_bytes();
+  if (total == 0) return 0.0;
+
+  // Union of the other instances' spans.
+  std::vector<ByteInterval> spans;
+  for (const ResponseInstance& other : instances_) {
+    if (other.id == id) continue;
+    if (const auto s = other.span()) spans.push_back(*s);
+  }
+  if (spans.empty()) return 0.0;
+  std::sort(spans.begin(), spans.end(),
+            [](const ByteInterval& a, const ByteInterval& b) { return a.begin < b.begin; });
+  std::vector<ByteInterval> merged;
+  for (const ByteInterval& s : spans) {
+    if (!merged.empty() && s.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, s.end);
+    } else {
+      merged.push_back(s);
+    }
+  }
+
+  // Bytes of `self` covered by the union.
+  std::uint64_t covered = 0;
+  for (const ByteInterval& iv : self.data) {
+    for (const ByteInterval& m : merged) {
+      const std::uint64_t lo = std::max(iv.begin, m.begin);
+      const std::uint64_t hi = std::min(iv.end, m.end);
+      if (hi > lo) covered += hi - lo;
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(total);
+}
+
+std::optional<double> GroundTruth::object_dom(web::ObjectId object) const {
+  const ResponseInstance* primary = primary_instance(object);
+  if (primary == nullptr || primary->data.empty()) return std::nullopt;
+  return degree_of_multiplexing(primary->id);
+}
+
+bool GroundTruth::any_serialized_instance(web::ObjectId object) const {
+  for (const ResponseInstance* inst : instances_of(object)) {
+    if (inst->complete && !inst->data.empty() &&
+        degree_of_multiplexing(inst->id) == 0.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace h2priv::analysis

@@ -1,0 +1,58 @@
+// Closed-world webpage fingerprinting over burst-size profiles — the attack
+// family the paper builds on ([2]-[12]): given labelled training traces of K
+// known pages, classify a fresh encrypted trace by its object-size profile.
+//
+// The profile of a trace is the multiset of burst body estimates; distance
+// between profiles is a greedy minimal-matching cost (absolute size
+// differences, unmatched bursts penalized). Nearest-centroid over the
+// training traces classifies. Serialized traffic gives crisp profiles;
+// multiplexing blurs them — quantifying exactly how much privacy
+// multiplexing buys against this classifier family, and how much the active
+// attack takes back.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "h2priv/analysis/estimator.hpp"
+
+namespace h2priv::analysis {
+
+/// A trace reduced to its burst-size profile (sorted).
+using SizeProfile = std::vector<std::size_t>;
+
+[[nodiscard]] SizeProfile profile_from_bursts(const std::vector<EstimatedObject>& bursts);
+
+/// Greedy matching cost between two profiles; symmetric, >= 0, 0 iff equal.
+/// Unmatched bursts cost their full size.
+[[nodiscard]] double profile_distance(const SizeProfile& a, const SizeProfile& b);
+
+class Fingerprinter {
+ public:
+  /// Adds one labelled training trace.
+  void train(const std::string& label, SizeProfile profile);
+
+  /// Nearest-training-trace classification; empty string if untrained.
+  [[nodiscard]] std::string classify(const SizeProfile& probe) const;
+
+  /// Distance to the best and second-best labels (classifier confidence).
+  struct Verdict {
+    std::string label;
+    double best_distance = 0;
+    double runner_up_distance = 0;
+  };
+  [[nodiscard]] Verdict classify_with_margin(const SizeProfile& probe) const;
+
+  [[nodiscard]] std::size_t trace_count() const noexcept { return traces_.size(); }
+
+ private:
+  struct Trace {
+    std::string label;
+    SizeProfile profile;
+  };
+  std::vector<Trace> traces_;
+};
+
+}  // namespace h2priv::analysis

@@ -1,0 +1,47 @@
+// Adversary-side TCP stream reconstruction and TLS record boundary
+// extraction for one direction of one connection.
+//
+// The monitor reads cleartext TCP headers off transiting packets, reassembles
+// the byte stream (absorbing retransmissions exactly as tshark's TCP
+// dissector does), and scans the 5-byte TLS record headers to produce
+// RecordObservations. Payload bytes stay opaque — they are carried only far
+// enough to locate the next header.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "h2priv/analysis/observation.hpp"
+#include "h2priv/tcp/reassembly.hpp"
+#include "h2priv/util/bytes.hpp"
+
+namespace h2priv::analysis {
+
+class MonitorStream {
+ public:
+  explicit MonitorStream(net::Direction dir) noexcept : dir_(dir) {}
+
+  /// Feeds one observed packet (already peeked). Emits RecordObservations
+  /// for every record that became complete.
+  void on_packet(const PacketObservation& pkt, util::BytesView payload,
+                 util::TimePoint now);
+
+  /// Fires for each completed record, in stream order.
+  std::function<void(const RecordObservation&)> on_record;
+
+  [[nodiscard]] const std::vector<RecordObservation>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t stream_bytes() const noexcept { return scan_offset_ + pending_.size(); }
+
+ private:
+  void scan(util::TimePoint now);
+
+  net::Direction dir_;
+  tcp::Reassembly reassembly_{1};  // data starts at seq 1 (SYN occupies 0)
+  util::Bytes pending_;            // in-order bytes not yet consumed by the scanner
+  std::uint64_t scan_offset_ = 0;  // stream offset of pending_[0]
+  std::vector<RecordObservation> records_;
+};
+
+}  // namespace h2priv::analysis

@@ -1,0 +1,24 @@
+// Trace export: the adversary-visible observations (packets, TLS records)
+// and the simulator-side ground truth as CSV, for offline analysis with
+// external tooling (pandas, Wireshark-style workflows).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+
+#include "h2priv/analysis/ground_truth.hpp"
+#include "h2priv/analysis/observation.hpp"
+
+namespace h2priv::analysis {
+
+/// time_s,dir,wire_size,seq,ack,flags,payload_len
+void write_packets_csv(std::ostream& os, std::span<const PacketObservation> packets);
+
+/// time_s,dir,content_type,ciphertext_len,plaintext_estimate,stream_offset
+void write_records_csv(std::ostream& os, std::span<const RecordObservation> records);
+
+/// instance,object,stream,duplicate,complete,dom,begin,end — one row per
+/// recorded DATA interval (the oracle view; never available to an adversary).
+void write_ground_truth_csv(std::ostream& os, const GroundTruth& truth);
+
+}  // namespace h2priv::analysis

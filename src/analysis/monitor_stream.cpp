@@ -1,0 +1,36 @@
+#include "h2priv/analysis/monitor_stream.hpp"
+
+namespace h2priv::analysis {
+
+void MonitorStream::on_packet(const PacketObservation& pkt, util::BytesView payload,
+                              util::TimePoint now) {
+  if (payload.empty()) return;
+  const util::Bytes delivered = reassembly_.offer(pkt.seq, payload);
+  if (delivered.empty()) return;
+  pending_.insert(pending_.end(), delivered.begin(), delivered.end());
+  scan(now);
+}
+
+void MonitorStream::scan(util::TimePoint now) {
+  std::size_t pos = 0;
+  for (;;) {
+    const util::BytesView window(pending_.data() + pos, pending_.size() - pos);
+    tls::RecordHeader hdr{};
+    if (!tls::parse_header(window, hdr)) break;
+    if (window.size() < tls::kHeaderBytes + hdr.ciphertext_len) break;
+
+    RecordObservation rec;
+    rec.time = now;
+    rec.dir = dir_;
+    rec.type = hdr.type;
+    rec.ciphertext_len = hdr.ciphertext_len;
+    rec.stream_offset = scan_offset_ + pos;
+    records_.push_back(rec);
+    if (on_record) on_record(rec);
+    pos += tls::kHeaderBytes + hdr.ciphertext_len;
+  }
+  pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(pos));
+  scan_offset_ += pos;
+}
+
+}  // namespace h2priv::analysis

@@ -1,0 +1,42 @@
+#include "h2priv/analysis/trace_export.hpp"
+
+#include <ostream>
+
+namespace h2priv::analysis {
+
+namespace {
+const char* dir_name(net::Direction d) {
+  return d == net::Direction::kClientToServer ? "c2s" : "s2c";
+}
+}  // namespace
+
+void write_packets_csv(std::ostream& os, std::span<const PacketObservation> packets) {
+  os << "time_s,dir,wire_size,seq,ack,flags,payload_len\n";
+  for (const PacketObservation& p : packets) {
+    os << p.time.seconds() << ',' << dir_name(p.dir) << ',' << p.wire_size << ',' << p.seq
+       << ',' << p.ack << ',' << static_cast<int>(p.flags) << ',' << p.payload_len << '\n';
+  }
+}
+
+void write_records_csv(std::ostream& os, std::span<const RecordObservation> records) {
+  os << "time_s,dir,content_type,ciphertext_len,plaintext_estimate,stream_offset\n";
+  for (const RecordObservation& r : records) {
+    os << r.time.seconds() << ',' << dir_name(r.dir) << ','
+       << static_cast<int>(r.type) << ',' << r.ciphertext_len << ','
+       << r.plaintext_estimate() << ',' << r.stream_offset << '\n';
+  }
+}
+
+void write_ground_truth_csv(std::ostream& os, const GroundTruth& truth) {
+  os << "instance,object,stream,duplicate,complete,dom,begin,end\n";
+  for (const ResponseInstance& inst : truth.instances()) {
+    const double dom = truth.degree_of_multiplexing(inst.id);
+    for (const ByteInterval& iv : inst.data) {
+      os << inst.id << ',' << inst.object_id << ',' << inst.stream_id << ','
+         << (inst.duplicate ? 1 : 0) << ',' << (inst.complete ? 1 : 0) << ',' << dom << ','
+         << iv.begin << ',' << iv.end << '\n';
+    }
+  }
+}
+
+}  // namespace h2priv::analysis

@@ -1,0 +1,134 @@
+// Experiment harness: one page load of the isidewith model through the full
+// stack (browser -> TLS -> TCP -> access link -> compromised middlebox ->
+// WAN link -> server), with the adversary optionally armed, and a scored
+// RunResult at the end.
+//
+// All benches and most examples are thin loops over run_once() with
+// different RunConfig fields — this is the single place topology lives.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "h2priv/analysis/ground_truth.hpp"
+#include "h2priv/client/browser.hpp"
+#include "h2priv/core/attack.hpp"
+#include "h2priv/core/predictor.hpp"
+#include "h2priv/server/h2_server.hpp"
+#include "h2priv/web/isidewith.hpp"
+
+namespace h2priv::core {
+
+struct PathConfig {
+  /// Client <-> middlebox hop (the lab LAN to the gateway).
+  util::Duration client_hop_delay{util::milliseconds(2)};
+  /// Middlebox <-> server hop (gateway to a CDN-fronted webserver).
+  util::Duration server_hop_delay{util::milliseconds(18)};
+  util::BitRate link_rate{util::gigabits_per_second(1)};
+  /// Background propagation noise per packet.
+  util::Duration jitter_sigma{util::microseconds(100)};
+  /// Real paths lose the occasional packet; this also gives Table I a
+  /// non-zero retransmission baseline to report increases against.
+  double background_loss = 0.0004;
+
+  /// Gateway-egress contention (toward the client): bursts above this many
+  /// packets per window suffer drop-tail loss. Upstream shaping (the
+  /// adversary's bandwidth limit) smooths arrivals under the threshold —
+  /// the paper's Fig. 5 mechanism. 0 disables.
+  int egress_burst_capacity = 70;       // ~840 Mbps sustained in 1 ms windows
+  util::Duration egress_burst_window{util::milliseconds(1)};
+  double egress_burst_loss = 0.5;
+};
+
+struct RunConfig {
+  std::uint64_t seed = 1;
+  PathConfig path{};
+  server::ServerConfig server{};
+  client::BrowserConfig browser = client::BrowserConfig::firefox_like();
+  web::PlanTuning tuning{};
+
+  /// Full Section V pipeline (phases 1-3).
+  bool attack_enabled = false;
+  AttackConfig attack{};
+
+  /// Size-obfuscation defense: pad the HTML and emblems to one common size
+  /// (defeats the size catalog even under serialization; see defense_eval).
+  bool pad_sensitive_objects = false;
+
+  /// Server-push defense (paper §VII): push the 8 emblems in a random
+  /// server-chosen order as soon as the results HTML is requested — the
+  /// secret display order never appears on the wire.
+  bool push_emblems = false;
+
+  /// Raw middlebox programs for the Section IV parameter studies; applied at
+  /// t=0 and independent of `attack_enabled`.
+  std::optional<util::Duration> manual_spacing;
+  std::optional<util::BitRate> manual_bandwidth;
+
+  util::Duration deadline{util::seconds(45)};
+
+  /// When non-empty, write <prefix>_packets.csv, <prefix>_records.csv and
+  /// <prefix>_ground_truth.csv at the end of the run (analysis::trace_export).
+  std::string trace_export_prefix;
+};
+
+struct ObjectOutcome {
+  web::ObjectId object_id = 0;
+  std::string label;
+  std::size_t true_size = 0;
+  std::optional<double> primary_dom;     ///< degree of multiplexing, first serving
+  bool serialized_primary = false;       ///< primary instance DoM == 0
+  bool any_serialized_copy = false;      ///< some complete copy DoM == 0
+  bool identified = false;               ///< predictor matched it from ciphertext
+  bool attack_success = false;           ///< serialized copy + identified
+};
+
+struct RunResult {
+  bool page_complete = false;
+  bool broken = false;
+  double page_load_seconds = 0.0;
+
+  // Retransmission accounting (Table I / Fig. 5 metric: client-visible
+  // re-request events — browser re-GETs plus TCP-level retransmissions).
+  std::uint64_t browser_rerequests = 0;
+  std::uint64_t reset_episodes = 0;
+  std::uint64_t rst_streams_sent = 0;
+  std::uint64_t tcp_retransmits = 0;  // client + server
+  std::uint64_t duplicate_server_responses = 0;
+  [[nodiscard]] std::uint64_t retransmission_events() const noexcept {
+    return browser_rerequests + tcp_retransmits;
+  }
+
+  ObjectOutcome html;
+  std::array<int, web::kPartyCount> true_party_order{};
+  std::array<ObjectOutcome, web::kPartyCount> emblems_by_position{};
+  std::vector<std::string> predicted_sequence;  ///< party labels, in time order
+  int sequence_positions_correct = 0;
+
+  // Raw materials for specialized analyses.
+  std::shared_ptr<analysis::GroundTruth> truth;
+  std::uint64_t monitor_packets = 0;
+  int monitor_gets = 0;
+  std::uint64_t egress_burst_drops = 0;  ///< gateway contention losses
+  double attack_horizon_seconds = 0.0;  ///< phase-3 start used by the predictor
+  std::vector<analysis::EstimatedObject> debug_bursts;  ///< post-horizon bursts
+};
+
+/// Label used for the results HTML in catalogs and predictions.
+[[nodiscard]] std::string html_label();
+/// Label for a party's emblem (0-based party index).
+[[nodiscard]] std::string party_label(int party);
+
+/// The adversary's pre-compiled catalog for the isidewith model.
+[[nodiscard]] analysis::SizeCatalog isidewith_catalog();
+
+/// Executes one seeded page load and scores it.
+[[nodiscard]] RunResult run_once(const RunConfig& config);
+
+/// Convenience: run `n` seeds {base_seed .. base_seed+n-1}.
+[[nodiscard]] std::vector<RunResult> run_many(RunConfig config, int n);
+
+}  // namespace h2priv::core

@@ -1,0 +1,74 @@
+// TrafficMonitor — the adversary's tshark (Section V component (a)).
+//
+// Taps the compromised middlebox, reads cleartext TCP headers, reassembles
+// both directions, extracts TLS record boundaries, and counts client GET
+// requests using the paper's `ssl.record.content_type == 23` filter plus a
+// size heuristic that separates request header blocks from control chatter
+// (window updates, settings acks, stream resets are all much smaller).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "h2priv/analysis/monitor_stream.hpp"
+#include "h2priv/analysis/observation.hpp"
+#include "h2priv/net/middlebox.hpp"
+#include "h2priv/tcp/segment.hpp"
+
+namespace h2priv::core {
+
+struct MonitorConfig {
+  /// Minimum record plaintext for a client->server record to count as a GET.
+  std::size_t min_get_record_bytes = 25;
+  /// Maximum — request header blocks are small; bulkier uploads are not GETs.
+  std::size_t max_get_record_bytes = 512;
+  /// Qualifying records to skip at session start (the client's SETTINGS
+  /// flight rides in application-data records of GET-like size).
+  int setup_records_to_skip = 1;
+
+  /// Stream-reset detection: a reset episode cancels dozens of streams
+  /// back-to-back, so their tiny RST_STREAM records (13 bytes of plaintext
+  /// each) coalesce into a single TCP segment. Tiny records that arrive one
+  /// per packet (e.g. HPACK-compressed re-GETs) never trip this.
+  std::size_t reset_record_max_bytes = 20;
+  int reset_records_per_packet_threshold = 8;
+};
+
+class TrafficMonitor {
+ public:
+  TrafficMonitor(net::Middlebox& middlebox, MonitorConfig config = {});
+
+  /// Fires on each detected GET with its 1-based index.
+  std::function<void(int index, util::TimePoint when)> on_get_request;
+
+  /// Fires when a client stream-reset flurry is detected (Section IV-D: the
+  /// cue that the drop phase has done its job).
+  std::function<void(util::TimePoint when)> on_reset_detected;
+
+  [[nodiscard]] int get_count() const noexcept { return get_count_; }
+  [[nodiscard]] const std::vector<analysis::RecordObservation>& records(
+      net::Direction dir) const noexcept {
+    return streams_[static_cast<std::size_t>(dir)].records();
+  }
+  [[nodiscard]] const std::vector<analysis::PacketObservation>& packets() const noexcept {
+    return packets_;
+  }
+  [[nodiscard]] std::uint64_t packets_seen() const noexcept { return packets_.size(); }
+
+ private:
+  void on_packet(net::Direction dir, const net::Packet& packet, util::TimePoint now);
+  void on_record(const analysis::RecordObservation& rec);
+
+  MonitorConfig config_;
+  analysis::MonitorStream streams_[2] = {
+      analysis::MonitorStream(net::Direction::kClientToServer),
+      analysis::MonitorStream(net::Direction::kServerToClient)};
+  std::vector<analysis::PacketObservation> packets_;
+  int tiny_records_this_packet_ = 0;
+  bool reset_reported_this_packet_ = false;
+  int get_count_ = 0;
+  int setup_skipped_ = 0;
+};
+
+}  // namespace h2priv::core

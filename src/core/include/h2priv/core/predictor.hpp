@@ -1,0 +1,58 @@
+// ObjectPredictor — the adversary's Python scripts (Section V component (c)).
+//
+// Works purely on TrafficMonitor output: segments the serialized phase of
+// the server->client record stream into object bursts and matches each
+// burst's size estimate against the pre-compiled size->identity catalog
+// ("image size to political party mapping").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "h2priv/analysis/estimator.hpp"
+#include "h2priv/core/monitor.hpp"
+
+namespace h2priv::core {
+
+struct Identification {
+  std::string label;
+  std::size_t body_estimate = 0;
+  util::TimePoint when{};
+};
+
+class ObjectPredictor {
+ public:
+  ObjectPredictor(const TrafficMonitor& monitor, analysis::SizeCatalog catalog,
+                  analysis::BurstConfig burst_config = {});
+
+  /// All catalog matches among bursts starting at/after `from`, in order.
+  [[nodiscard]] std::vector<Identification> identify_after(util::TimePoint from) const;
+
+  /// First burst at/after `from` matching `label`'s catalog size.
+  [[nodiscard]] std::optional<Identification> find(const std::string& label,
+                                                   util::TimePoint from) const;
+
+  /// Sequence recovery robust to stale-retransmission noise: for each
+  /// catalog label in `labels`, take its LAST match after `from` (the real
+  /// serialized serving comes after any leftover retransmission bursts of
+  /// the drop phase, which the adversary cannot distinguish — Section IV-D),
+  /// then order labels by that time.
+  [[nodiscard]] std::vector<Identification> predict_sequence(
+      const std::vector<std::string>& labels, util::TimePoint from) const;
+
+  /// Raw bursts (diagnostics / examples).
+  [[nodiscard]] std::vector<analysis::EstimatedObject> bursts_after(util::TimePoint from) const;
+
+  [[nodiscard]] const analysis::SizeCatalog& catalog() const noexcept { return catalog_; }
+
+  std::size_t abs_tolerance = 150;
+  double frac_tolerance = 0.012;
+
+ private:
+  const TrafficMonitor& monitor_;
+  analysis::SizeCatalog catalog_;
+  analysis::BurstConfig burst_config_;
+};
+
+}  // namespace h2priv::core

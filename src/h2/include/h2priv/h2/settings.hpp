@@ -1,0 +1,44 @@
+// HTTP/2 SETTINGS parameters (RFC 7540 §6.5.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "h2priv/h2/frame.hpp"
+
+namespace h2priv::h2 {
+
+enum class SettingId : std::uint16_t {
+  kHeaderTableSize = 0x1,
+  kEnablePush = 0x2,
+  kMaxConcurrentStreams = 0x3,
+  kInitialWindowSize = 0x4,
+  kMaxFrameSize = 0x5,
+  kMaxHeaderListSize = 0x6,
+};
+
+struct Settings {
+  std::uint32_t header_table_size = 4096;
+  bool enable_push = true;
+  std::uint32_t max_concurrent_streams = 100;
+  std::uint32_t initial_window_size = 65'535;
+  std::uint32_t max_frame_size = kDefaultMaxFrameSize;
+  std::uint32_t max_header_list_size = 16'384;
+
+  [[nodiscard]] std::vector<Setting> to_wire() const {
+    return {
+        {static_cast<std::uint16_t>(SettingId::kHeaderTableSize), header_table_size},
+        {static_cast<std::uint16_t>(SettingId::kEnablePush), enable_push ? 1u : 0u},
+        {static_cast<std::uint16_t>(SettingId::kMaxConcurrentStreams), max_concurrent_streams},
+        {static_cast<std::uint16_t>(SettingId::kInitialWindowSize), initial_window_size},
+        {static_cast<std::uint16_t>(SettingId::kMaxFrameSize), max_frame_size},
+        {static_cast<std::uint16_t>(SettingId::kMaxHeaderListSize), max_header_list_size},
+    };
+  }
+
+  /// Applies wire settings on top of the current values. Throws FrameError
+  /// on out-of-range values (RFC 7540 §6.5.2 validity rules).
+  void apply(const std::vector<Setting>& settings);
+};
+
+}  // namespace h2priv::h2

@@ -1,0 +1,53 @@
+#include "h2priv/hpack/dynamic_table.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace h2priv::hpack {
+
+void DynamicTable::insert(Header h) {
+  const std::size_t entry_size = h.hpack_size();
+  if (entry_size > capacity_) {
+    evict_to(0);
+    return;  // too large to store: table is flushed, entry is dropped
+  }
+  evict_to(capacity_ - entry_size);
+  size_ += entry_size;
+  entries_.push_front(std::move(h));
+}
+
+const Header& DynamicTable::at(std::size_t index) const {
+  if (index == 0 || index > entries_.size()) {
+    throw std::out_of_range("HPACK dynamic table index " + std::to_string(index));
+  }
+  return entries_[index - 1];
+}
+
+std::optional<std::size_t> DynamicTable::find(std::string_view name,
+                                              std::string_view value) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name && entries_[i].value == value) return i + 1;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> DynamicTable::find_name(std::string_view name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return i + 1;
+  }
+  return std::nullopt;
+}
+
+void DynamicTable::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  evict_to(capacity_);
+}
+
+void DynamicTable::evict_to(std::size_t limit) {
+  while (size_ > limit && !entries_.empty()) {
+    size_ -= entries_.back().hpack_size();
+    entries_.pop_back();
+  }
+}
+
+}  // namespace h2priv::hpack

@@ -1,0 +1,152 @@
+#include "h2priv/hpack/huffman.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace h2priv::hpack {
+
+namespace {
+
+struct ExactEntry {
+  unsigned char symbol;
+  std::uint32_t code;
+  std::uint8_t bits;
+};
+
+// RFC 7541 Appendix B, exact values for NUL + printable ASCII.
+constexpr ExactEntry kExact[] = {
+    {'0', 0x0, 5},   {'1', 0x1, 5},   {'2', 0x2, 5},   {'a', 0x3, 5},   {'c', 0x4, 5},
+    {'e', 0x5, 5},   {'i', 0x6, 5},   {'o', 0x7, 5},   {'s', 0x8, 5},   {'t', 0x9, 5},
+    {' ', 0x14, 6},  {'%', 0x15, 6},  {'-', 0x16, 6},  {'.', 0x17, 6},  {'/', 0x18, 6},
+    {'3', 0x19, 6},  {'4', 0x1a, 6},  {'5', 0x1b, 6},  {'6', 0x1c, 6},  {'7', 0x1d, 6},
+    {'8', 0x1e, 6},  {'9', 0x1f, 6},  {'=', 0x20, 6},  {'A', 0x21, 6},  {'_', 0x22, 6},
+    {'b', 0x23, 6},  {'d', 0x24, 6},  {'f', 0x25, 6},  {'g', 0x26, 6},  {'h', 0x27, 6},
+    {'l', 0x28, 6},  {'m', 0x29, 6},  {'n', 0x2a, 6},  {'p', 0x2b, 6},  {'r', 0x2c, 6},
+    {'u', 0x2d, 6},
+    {':', 0x5c, 7},  {'B', 0x5d, 7},  {'C', 0x5e, 7},  {'D', 0x5f, 7},  {'E', 0x60, 7},
+    {'F', 0x61, 7},  {'G', 0x62, 7},  {'H', 0x63, 7},  {'I', 0x64, 7},  {'J', 0x65, 7},
+    {'K', 0x66, 7},  {'L', 0x67, 7},  {'M', 0x68, 7},  {'N', 0x69, 7},  {'O', 0x6a, 7},
+    {'P', 0x6b, 7},  {'Q', 0x6c, 7},  {'R', 0x6d, 7},  {'S', 0x6e, 7},  {'T', 0x6f, 7},
+    {'U', 0x70, 7},  {'V', 0x71, 7},  {'W', 0x72, 7},  {'Y', 0x73, 7},  {'j', 0x74, 7},
+    {'k', 0x75, 7},  {'q', 0x76, 7},  {'v', 0x77, 7},  {'w', 0x78, 7},  {'x', 0x79, 7},
+    {'y', 0x7a, 7},  {'z', 0x7b, 7},
+    {'&', 0xf8, 8},  {'*', 0xf9, 8},  {',', 0xfa, 8},  {';', 0xfb, 8},  {'X', 0xfc, 8},
+    {'Z', 0xfd, 8},
+    {'!', 0x3f8, 10}, {'"', 0x3f9, 10}, {'(', 0x3fa, 10}, {')', 0x3fb, 10}, {'?', 0x3fc, 10},
+    {'\'', 0x7fa, 11}, {'+', 0x7fb, 11}, {'|', 0x7fc, 11},
+    {'#', 0xffa, 12}, {'>', 0xffb, 12},
+    {'\0', 0x1ff8, 13}, {'$', 0x1ff9, 13}, {'@', 0x1ffa, 13}, {'[', 0x1ffb, 13},
+    {']', 0x1ffc, 13}, {'~', 0x1ffd, 13},
+    {'^', 0x3ffc, 14}, {'}', 0x3ffd, 14},
+    {'<', 0x7ffc, 15}, {'`', 0x7ffd, 15}, {'{', 0x7ffe, 15},
+    {'\\', 0x7fff0, 19},
+};
+
+std::array<HuffmanCode, 257> build_table() {
+  std::array<HuffmanCode, 257> table{};
+  for (const auto& e : kExact) {
+    table[e.symbol] = {e.code, e.bits};
+  }
+  // Canonical fill for the unreachable symbols: 27-bit codes starting just
+  // above the left-aligned space used by the exact entries (see header).
+  std::uint32_t next = 0x7fff1u << 8;  // == 0x7FFF100
+  for (auto& slot : table) {
+    if (slot.bits == 0) slot = {next++, 27};
+  }
+  return table;
+}
+
+struct TrieNode {
+  int symbol = -1;  // >= 0 at leaves
+  std::unique_ptr<TrieNode> child[2];
+};
+
+const TrieNode& decode_trie() {
+  static const std::unique_ptr<TrieNode> root = [] {
+    auto r = std::make_unique<TrieNode>();
+    const auto& table = huffman_table();
+    for (std::size_t sym = 0; sym < table.size(); ++sym) {
+      TrieNode* node = r.get();
+      const HuffmanCode c = table[sym];
+      for (int b = c.bits - 1; b >= 0; --b) {
+        const int bit = (c.code >> b) & 1;
+        if (!node->child[bit]) node->child[bit] = std::make_unique<TrieNode>();
+        node = node->child[bit].get();
+      }
+      node->symbol = static_cast<int>(sym);
+    }
+    return r;
+  }();
+  return *root;
+}
+
+}  // namespace
+
+const std::array<HuffmanCode, 257>& huffman_table() {
+  static const std::array<HuffmanCode, 257> table = build_table();
+  return table;
+}
+
+std::size_t huffman_encoded_size(std::string_view s) {
+  const auto& table = huffman_table();
+  std::size_t bits = 0;
+  for (const char ch : s) bits += table[static_cast<unsigned char>(ch)].bits;
+  return (bits + 7) / 8;
+}
+
+util::Bytes huffman_encode(std::string_view s) {
+  const auto& table = huffman_table();
+  util::Bytes out;
+  out.reserve(huffman_encoded_size(s));
+  std::uint64_t acc = 0;
+  int acc_bits = 0;
+  for (const char ch : s) {
+    const HuffmanCode c = table[static_cast<unsigned char>(ch)];
+    acc = (acc << c.bits) | c.code;
+    acc_bits += c.bits;
+    while (acc_bits >= 8) {
+      acc_bits -= 8;
+      out.push_back(static_cast<std::uint8_t>(acc >> acc_bits));
+    }
+  }
+  if (acc_bits > 0) {
+    // Pad with the EOS-prefix (all ones).
+    const int pad = 8 - acc_bits;
+    acc = (acc << pad) | ((1u << pad) - 1);
+    out.push_back(static_cast<std::uint8_t>(acc));
+  }
+  return out;
+}
+
+std::string huffman_decode(util::BytesView data) {
+  std::string out;
+  const TrieNode& root = decode_trie();
+  const TrieNode* node = &root;
+  int depth = 0;     // bits consumed on the current partial code
+  int ones_run = 0;  // trailing consecutive 1-bits of that partial code
+  for (const std::uint8_t byte : data) {
+    for (int b = 7; b >= 0; --b) {
+      const int bit = (byte >> b) & 1;
+      ones_run = bit ? ones_run + 1 : 0;
+      ++depth;
+      const TrieNode* next_node = node->child[bit].get();
+      if (next_node == nullptr) throw std::invalid_argument("huffman: invalid code");
+      node = next_node;
+      if (node->symbol >= 0) {
+        if (node->symbol == 256) throw std::invalid_argument("huffman: explicit EOS");
+        out.push_back(static_cast<char>(node->symbol));
+        node = &root;
+        depth = 0;
+        ones_run = 0;
+      }
+    }
+  }
+  // Trailing bits must be an EOS prefix: all ones and shorter than 8 bits.
+  if (node != &root && (depth != ones_run || depth > 7)) {
+    throw std::invalid_argument("huffman: bad padding");
+  }
+  return out;
+}
+
+}  // namespace h2priv::hpack

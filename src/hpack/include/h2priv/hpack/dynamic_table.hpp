@@ -1,0 +1,47 @@
+// HPACK dynamic table (RFC 7541 §2.3.2, §4): FIFO of recently inserted
+// header fields with size-based eviction. Indices are 1-based, newest first.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string_view>
+
+#include "h2priv/hpack/header.hpp"
+
+namespace h2priv::hpack {
+
+inline constexpr std::size_t kDefaultDynamicTableCapacity = 4096;
+
+class DynamicTable {
+ public:
+  explicit DynamicTable(std::size_t capacity = kDefaultDynamicTableCapacity) noexcept
+      : capacity_(capacity) {}
+
+  /// Inserts at the front, evicting from the back until within capacity.
+  /// An entry larger than the whole capacity empties the table (RFC §4.4).
+  void insert(Header h);
+
+  /// 1-based lookup (1 == most recently inserted). Throws std::out_of_range.
+  [[nodiscard]] const Header& at(std::size_t index) const;
+
+  [[nodiscard]] std::optional<std::size_t> find(std::string_view name,
+                                                std::string_view value) const;
+  [[nodiscard]] std::optional<std::size_t> find_name(std::string_view name) const;
+
+  /// Dynamic table size update (RFC §6.3).
+  void set_capacity(std::size_t capacity);
+
+  [[nodiscard]] std::size_t entry_count() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  void evict_to(std::size_t limit);
+
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  std::deque<Header> entries_;  // front = newest
+};
+
+}  // namespace h2priv::hpack

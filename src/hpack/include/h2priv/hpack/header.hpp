@@ -1,0 +1,23 @@
+// HPACK header field representation (RFC 7541 §1.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace h2priv::hpack {
+
+struct Header {
+  std::string name;   // lower-case by HTTP/2 convention
+  std::string value;
+
+  friend bool operator==(const Header&, const Header&) = default;
+
+  /// Table-accounting size: name + value + 32 (RFC 7541 §4.1).
+  [[nodiscard]] std::size_t hpack_size() const noexcept {
+    return name.size() + value.size() + 32;
+  }
+};
+
+using HeaderList = std::vector<Header>;
+
+}  // namespace h2priv::hpack

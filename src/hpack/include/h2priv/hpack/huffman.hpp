@@ -1,0 +1,38 @@
+// HPACK Huffman coding (RFC 7541 Appendix B).
+//
+// Codes for NUL and the printable ASCII range 0x20-0x7E are the exact RFC
+// values (validated against the RFC's C.4/C.6 test vectors). The remaining
+// octets (controls, 0x7F-0xFF, EOS) — which never appear in HTTP header
+// text — are assigned canonical 27-bit codes in the free space above the
+// longest exact code, keeping the table prefix-free; wire sizes for real
+// header traffic are identical to the RFC's.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "h2priv/util/bytes.hpp"
+
+namespace h2priv::hpack {
+
+struct HuffmanCode {
+  std::uint32_t code = 0;  // right-aligned
+  std::uint8_t bits = 0;
+};
+
+/// Code table for octets 0..255 plus EOS at index 256.
+[[nodiscard]] const std::array<HuffmanCode, 257>& huffman_table();
+
+/// Huffman-encoded length of `s` in bytes (including padding).
+[[nodiscard]] std::size_t huffman_encoded_size(std::string_view s);
+
+/// Encodes `s`, padding the final partial byte with 1-bits (EOS prefix).
+[[nodiscard]] util::Bytes huffman_encode(std::string_view s);
+
+/// Decodes a Huffman-coded string. Throws std::invalid_argument on codes
+/// that do not map to a symbol or on invalid (non-EOS-prefix) padding.
+[[nodiscard]] std::string huffman_decode(util::BytesView data);
+
+}  // namespace h2priv::hpack

@@ -1,0 +1,20 @@
+// HPACK primitive integer representation (RFC 7541 §5.1): an N-bit prefix
+// followed by a varint continuation.
+#pragma once
+
+#include <cstdint>
+
+#include "h2priv/util/bytes.hpp"
+
+namespace h2priv::hpack {
+
+/// Encodes `value` with an `prefix_bits`-bit prefix; `first_byte_flags` holds
+/// the pattern bits above the prefix (e.g. 0x80 for an indexed field).
+void encode_integer(util::ByteWriter& w, std::uint8_t first_byte_flags, int prefix_bits,
+                    std::uint64_t value);
+
+/// Decodes an integer with an `prefix_bits`-bit prefix from the reader.
+/// Throws util::OutOfBounds on truncation, std::overflow_error past 2^62.
+[[nodiscard]] std::uint64_t decode_integer(util::ByteReader& r, int prefix_bits);
+
+}  // namespace h2priv::hpack

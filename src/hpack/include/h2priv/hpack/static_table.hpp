@@ -1,0 +1,25 @@
+// HPACK static table (RFC 7541 Appendix A): 61 predefined header fields.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "h2priv/hpack/header.hpp"
+
+namespace h2priv::hpack {
+
+inline constexpr std::size_t kStaticTableSize = 61;
+
+/// Returns the 1-based static table entry. Throws std::out_of_range for
+/// index 0 or > 61.
+[[nodiscard]] const Header& static_entry(std::size_t index);
+
+/// Finds a full (name, value) match; returns the 1-based index.
+[[nodiscard]] std::optional<std::size_t> static_find(std::string_view name,
+                                                     std::string_view value);
+
+/// Finds a name-only match (first entry with that name).
+[[nodiscard]] std::optional<std::size_t> static_find_name(std::string_view name);
+
+}  // namespace h2priv::hpack

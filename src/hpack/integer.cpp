@@ -1,0 +1,39 @@
+#include "h2priv/hpack/integer.hpp"
+
+#include <stdexcept>
+
+namespace h2priv::hpack {
+
+void encode_integer(util::ByteWriter& w, std::uint8_t first_byte_flags, int prefix_bits,
+                    std::uint64_t value) {
+  if (prefix_bits < 1 || prefix_bits > 8) throw std::invalid_argument("prefix_bits out of range");
+  const std::uint64_t limit = (1ull << prefix_bits) - 1;
+  if (value < limit) {
+    w.u8(static_cast<std::uint8_t>(first_byte_flags | value));
+    return;
+  }
+  w.u8(static_cast<std::uint8_t>(first_byte_flags | limit));
+  value -= limit;
+  while (value >= 128) {
+    w.u8(static_cast<std::uint8_t>(0x80 | (value & 0x7f)));
+    value >>= 7;
+  }
+  w.u8(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t decode_integer(util::ByteReader& r, int prefix_bits) {
+  if (prefix_bits < 1 || prefix_bits > 8) throw std::invalid_argument("prefix_bits out of range");
+  const std::uint64_t limit = (1ull << prefix_bits) - 1;
+  std::uint64_t value = r.u8() & limit;
+  if (value < limit) return value;
+  int shift = 0;
+  for (;;) {
+    const std::uint8_t byte = r.u8();
+    if (shift > 56) throw std::overflow_error("HPACK integer too large");
+    value += static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+}  // namespace h2priv::hpack

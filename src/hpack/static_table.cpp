@@ -1,0 +1,100 @@
+#include "h2priv/hpack/static_table.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace h2priv::hpack {
+
+namespace {
+const std::array<Header, kStaticTableSize>& table() {
+  static const std::array<Header, kStaticTableSize> entries = {{
+      {":authority", ""},                       // 1
+      {":method", "GET"},                       // 2
+      {":method", "POST"},                      // 3
+      {":path", "/"},                           // 4
+      {":path", "/index.html"},                 // 5
+      {":scheme", "http"},                      // 6
+      {":scheme", "https"},                     // 7
+      {":status", "200"},                       // 8
+      {":status", "204"},                       // 9
+      {":status", "206"},                       // 10
+      {":status", "304"},                       // 11
+      {":status", "400"},                       // 12
+      {":status", "404"},                       // 13
+      {":status", "500"},                       // 14
+      {"accept-charset", ""},                   // 15
+      {"accept-encoding", "gzip, deflate"},     // 16
+      {"accept-language", ""},                  // 17
+      {"accept-ranges", ""},                    // 18
+      {"accept", ""},                           // 19
+      {"access-control-allow-origin", ""},      // 20
+      {"age", ""},                              // 21
+      {"allow", ""},                            // 22
+      {"authorization", ""},                    // 23
+      {"cache-control", ""},                    // 24
+      {"content-disposition", ""},              // 25
+      {"content-encoding", ""},                 // 26
+      {"content-language", ""},                 // 27
+      {"content-length", ""},                   // 28
+      {"content-location", ""},                 // 29
+      {"content-range", ""},                    // 30
+      {"content-type", ""},                     // 31
+      {"cookie", ""},                           // 32
+      {"date", ""},                             // 33
+      {"etag", ""},                             // 34
+      {"expect", ""},                           // 35
+      {"expires", ""},                          // 36
+      {"from", ""},                             // 37
+      {"host", ""},                             // 38
+      {"if-match", ""},                         // 39
+      {"if-modified-since", ""},                // 40
+      {"if-none-match", ""},                    // 41
+      {"if-range", ""},                         // 42
+      {"if-unmodified-since", ""},              // 43
+      {"last-modified", ""},                    // 44
+      {"link", ""},                             // 45
+      {"location", ""},                         // 46
+      {"max-forwards", ""},                     // 47
+      {"proxy-authenticate", ""},               // 48
+      {"proxy-authorization", ""},              // 49
+      {"range", ""},                            // 50
+      {"referer", ""},                          // 51
+      {"refresh", ""},                          // 52
+      {"retry-after", ""},                      // 53
+      {"server", ""},                           // 54
+      {"set-cookie", ""},                       // 55
+      {"strict-transport-security", ""},        // 56
+      {"transfer-encoding", ""},                // 57
+      {"user-agent", ""},                       // 58
+      {"vary", ""},                             // 59
+      {"via", ""},                              // 60
+      {"www-authenticate", ""},                 // 61
+  }};
+  return entries;
+}
+}  // namespace
+
+const Header& static_entry(std::size_t index) {
+  if (index == 0 || index > kStaticTableSize) {
+    throw std::out_of_range("HPACK static table index " + std::to_string(index));
+  }
+  return table()[index - 1];
+}
+
+std::optional<std::size_t> static_find(std::string_view name, std::string_view value) {
+  const auto& entries = table();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].name == name && entries[i].value == value) return i + 1;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> static_find_name(std::string_view name) {
+  const auto& entries = table();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].name == name) return i + 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace h2priv::hpack

@@ -1,0 +1,85 @@
+// The compromised on-path network device (the adversary's vantage point).
+//
+// Per direction, a packet passes through:
+//   ingress tap -> drop decision -> bandwidth shaper (FIFO) -> hold stage
+// The hold stage lets policies delay individual packets past the shaper
+// (the jitter / request-spacing attack) and may reorder, mirroring `tc netem`
+// semantics. All policy is injected as std::function so the core::
+// NetworkController composes programs without the middlebox knowing about
+// TLS, HTTP/2 or the attack at all.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "h2priv/net/link.hpp"
+#include "h2priv/net/packet.hpp"
+#include "h2priv/sim/simulator.hpp"
+
+namespace h2priv::net {
+
+/// Observes every packet entering the middlebox (before any drop decision).
+using PacketTap =
+    std::function<void(Direction, const Packet&, util::TimePoint arrival)>;
+
+/// Returns true if the packet must be dropped.
+using DropFn = std::function<bool(const Packet&)>;
+
+/// Given a packet and the earliest time it could be forwarded, returns the
+/// actual forwarding time (must be >= ready).
+using HoldFn = std::function<util::TimePoint(const Packet&, util::TimePoint ready)>;
+
+class Middlebox {
+ public:
+  explicit Middlebox(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Wires the forwarding destination for a direction (typically the next Link).
+  void set_output(Direction d, PacketSink out) { port(d).out = std::move(out); }
+
+  /// Entry point: packets arriving from either side are pushed here.
+  void process(Direction d, Packet&& p);
+
+  /// Registers an observer for all transiting packets.
+  void add_tap(PacketTap tap) { taps_.push_back(std::move(tap)); }
+
+  /// Applies or clears a per-direction bandwidth cap (the shaper).
+  void set_bandwidth_limit(Direction d, std::optional<util::BitRate> rate) {
+    port(d).bandwidth = rate;
+  }
+
+  /// Installs / clears the targeted-drop policy for a direction.
+  void set_drop_fn(Direction d, DropFn fn) { port(d).drop = std::move(fn); }
+
+  /// Installs / clears the hold (extra delay / spacing) policy.
+  void set_hold_fn(Direction d, HoldFn fn) { port(d).hold = std::move(fn); }
+
+  struct Stats {
+    std::uint64_t seen = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t held = 0;  ///< packets whose hold stage added delay
+  };
+  [[nodiscard]] const Stats& stats(Direction d) const noexcept {
+    return ports_[static_cast<std::size_t>(d)].stats;
+  }
+
+ private:
+  struct PortState {
+    PacketSink out;
+    std::optional<util::BitRate> bandwidth;
+    DropFn drop;
+    HoldFn hold;
+    util::TimePoint shaper_busy_until{};
+    Stats stats;
+  };
+
+  PortState& port(Direction d) noexcept { return ports_[static_cast<std::size_t>(d)]; }
+
+  sim::Simulator& sim_;
+  std::array<PortState, 2> ports_{};
+  std::vector<PacketTap> taps_;
+};
+
+}  // namespace h2priv::net

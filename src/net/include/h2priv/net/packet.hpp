@@ -1,0 +1,44 @@
+// Network-layer packet model.
+//
+// A Packet carries one TCP segment (already in wire format) plus the fixed
+// IP header overhead used for link-timing purposes. Packets deliberately
+// carry NO ground-truth metadata: everything an on-path device learns, it
+// learns by parsing the wire bytes, exactly like the paper's adversary.
+#pragma once
+
+#include <cstdint>
+
+#include "h2priv/util/bytes.hpp"
+
+namespace h2priv::net {
+
+/// Direction of travel on the client<->server path.
+enum class Direction : std::uint8_t {
+  kClientToServer = 0,
+  kServerToClient = 1,
+};
+
+[[nodiscard]] constexpr Direction opposite(Direction d) noexcept {
+  return d == Direction::kClientToServer ? Direction::kServerToClient
+                                         : Direction::kClientToServer;
+}
+
+[[nodiscard]] constexpr const char* to_string(Direction d) noexcept {
+  return d == Direction::kClientToServer ? "client->server" : "server->client";
+}
+
+/// Bytes of IP header accounted for in link serialization timing.
+inline constexpr std::int64_t kIpHeaderBytes = 20;
+
+struct Packet {
+  std::uint64_t id = 0;           ///< globally unique, assigned at first send
+  Direction dir = Direction::kClientToServer;
+  util::Bytes segment;            ///< TCP segment in wire format (header + payload)
+
+  /// On-the-wire size including IP header (what a link must serialize).
+  [[nodiscard]] std::int64_t wire_size() const noexcept {
+    return kIpHeaderBytes + static_cast<std::int64_t>(segment.size());
+  }
+};
+
+}  // namespace h2priv::net

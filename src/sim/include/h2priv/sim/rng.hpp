@@ -1,0 +1,62 @@
+// Deterministic PRNG (xoshiro256**) for all simulation randomness.
+//
+// One Rng per experiment run, seeded by (experiment seed, run index); every
+// stochastic element — jitter draws, loss coin-flips, client think times,
+// party-order shuffles — derives from it, so runs replay exactly.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "h2priv/util/units.hpp"
+
+namespace h2priv::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Exponentially distributed duration with the given mean.
+  util::Duration exponential(util::Duration mean) noexcept;
+
+  /// Uniform duration in [lo, hi].
+  util::Duration uniform_duration(util::Duration lo, util::Duration hi) noexcept;
+
+  /// Truncated-normal-ish duration: mean ± up to 3 sigma, never below floor.
+  /// (Sum-of-uniforms approximation — adequate for think-time noise.)
+  util::Duration jittered(util::Duration mean, util::Duration sigma,
+                          util::Duration floor = {}) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for sub-components).
+  [[nodiscard]] Rng fork() noexcept { return Rng(next() ^ 0xa0761d6478bd642full); }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace h2priv::sim

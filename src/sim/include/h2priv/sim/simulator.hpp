@@ -1,0 +1,89 @@
+// Discrete-event simulation core.
+//
+// Every component in the stack (links, TCP timers, server handlers, the
+// adversary's drop windows) schedules closures on one Simulator. Events at
+// equal timestamps run in scheduling order, which makes whole-system runs
+// bit-for-bit reproducible for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "h2priv/util/units.hpp"
+
+namespace h2priv::sim {
+
+using util::Duration;
+using util::TimePoint;
+
+/// Opaque handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t value = 0;
+  [[nodiscard]] constexpr bool valid() const noexcept { return value != 0; }
+  friend constexpr bool operator==(EventId, EventId) noexcept = default;
+};
+
+/// Single-threaded discrete-event scheduler with a nanosecond clock.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run `delay` from now (delay must be >= 0).
+  EventId schedule(Duration delay, std::function<void()> fn);
+
+  /// Schedules `fn` at absolute time `when` (must be >= now()).
+  EventId schedule_at(TimePoint when, std::function<void()> fn);
+
+  /// Cancels a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty. Returns number of events executed.
+  std::size_t run();
+
+  /// Runs events with timestamp <= `deadline`; clock ends at
+  /// min(deadline, last event time) or `deadline` if events remain.
+  std::size_t run_until(TimePoint deadline);
+
+  /// Executes the single earliest event. Returns false if queue is empty.
+  bool step();
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.size() == cancelled_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size() - cancelled_.size(); }
+
+  /// Safety valve: run()/run_until() throw std::runtime_error after this many
+  /// events (default 200M) — catches accidental event storms in tests.
+  void set_event_limit(std::size_t limit) noexcept { event_limit_ = limit; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run();
+
+  TimePoint now_{};
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t event_limit_ = 200'000'000;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace h2priv::sim

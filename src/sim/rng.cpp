@@ -1,0 +1,82 @@
+#include "h2priv/sim/rng.hpp"
+
+#include <cmath>
+
+namespace h2priv::sim {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Rejection sampling removes modulo bias.
+  const std::uint64_t limit = span * (~0ull / span);
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+util::Duration Rng::exponential(util::Duration mean) noexcept {
+  if (mean.ns <= 0) return {};
+  const double u = 1.0 - uniform();  // avoid log(0)
+  const double d = -static_cast<double>(mean.ns) * std::log(u);
+  return {static_cast<std::int64_t>(d)};
+}
+
+util::Duration Rng::uniform_duration(util::Duration lo, util::Duration hi) noexcept {
+  return {uniform_int(lo.ns, hi.ns)};
+}
+
+util::Duration Rng::jittered(util::Duration mean, util::Duration sigma,
+                             util::Duration floor) noexcept {
+  // Irwin–Hall with n=12 gives a unit-variance approximate normal.
+  double acc = 0.0;
+  for (int i = 0; i < 12; ++i) acc += uniform();
+  const double z = acc - 6.0;
+  const double clipped = std::clamp(z, -3.0, 3.0);
+  const auto v = mean.ns + static_cast<std::int64_t>(clipped * static_cast<double>(sigma.ns));
+  return {std::max(v, floor.ns)};
+}
+
+}  // namespace h2priv::sim

@@ -1,0 +1,73 @@
+#include "h2priv/sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace h2priv::sim {
+
+EventId Simulator::schedule(Duration delay, std::function<void()> fn) {
+  if (delay.ns < 0) throw std::invalid_argument("Simulator::schedule: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+  if (when < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{when, seq, seq, std::move(fn)});
+  return EventId{seq};
+}
+
+void Simulator::cancel(EventId id) {
+  if (id.valid()) cancelled_.insert(id.value);
+}
+
+bool Simulator::pop_and_run() {
+  while (!queue_.empty()) {
+    // priority_queue has no non-const top-with-move; Entry's closure must be
+    // moved out before pop, so copy the POD fields first.
+    auto& top = const_cast<Entry&>(queue_.top());
+    const TimePoint when = top.when;
+    const std::uint64_t id = top.id;
+    std::function<void()> fn = std::move(top.fn);
+    queue_.pop();
+    if (const auto it = cancelled_.find(id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = when;
+    fn();
+    if (++executed_ > event_limit_) {
+      throw std::runtime_error("Simulator: event limit exceeded (runaway event storm?)");
+    }
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (pop_and_run()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(TimePoint deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // Skip cancelled heads so their timestamps don't stall the deadline check.
+    if (cancelled_.contains(queue_.top().id)) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
+    if (pop_and_run()) ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool Simulator::step() {
+  return pop_and_run();
+}
+
+}  // namespace h2priv::sim

@@ -1,0 +1,54 @@
+#include "h2priv/tcp/congestion.hpp"
+
+#include <algorithm>
+
+namespace h2priv::tcp {
+
+RenoCongestion::RenoCongestion(CongestionConfig config) noexcept
+    : config_(config),
+      cwnd_(static_cast<std::uint64_t>(config.mss) * config.initial_window_segments),
+      ssthresh_(config.initial_ssthresh) {}
+
+void RenoCongestion::on_ack(std::uint64_t acked_bytes) noexcept {
+  if (in_recovery_) {
+    // Window inflation is handled by the connection tracking in-flight data;
+    // during recovery cwnd itself stays at ssthresh.
+    return;
+  }
+  if (in_slow_start()) {
+    cwnd_ += std::min<std::uint64_t>(acked_bytes, config_.mss);
+  } else {
+    // Congestion avoidance: +1 MSS per cwnd of acked data (byte counting).
+    ca_acc_ += acked_bytes;
+    if (ca_acc_ >= cwnd_) {
+      ca_acc_ -= cwnd_;
+      cwnd_ += config_.mss;
+    }
+  }
+}
+
+void RenoCongestion::on_dup_ack() noexcept {
+  // Pre-threshold dup ACKs leave the window alone (limited transmit omitted).
+}
+
+void RenoCongestion::on_fast_retransmit() noexcept {
+  ssthresh_ = std::max<std::uint64_t>(
+      cwnd_ / 2, static_cast<std::uint64_t>(config_.mss) * config_.min_window_segments * 2);
+  cwnd_ = ssthresh_;
+  in_recovery_ = true;
+  ca_acc_ = 0;
+}
+
+void RenoCongestion::on_recovery_exit() noexcept {
+  in_recovery_ = false;
+}
+
+void RenoCongestion::on_timeout() noexcept {
+  ssthresh_ = std::max<std::uint64_t>(
+      cwnd_ / 2, static_cast<std::uint64_t>(config_.mss) * config_.min_window_segments * 2);
+  cwnd_ = static_cast<std::uint64_t>(config_.mss) * config_.min_window_segments;
+  in_recovery_ = false;
+  ca_acc_ = 0;
+}
+
+}  // namespace h2priv::tcp

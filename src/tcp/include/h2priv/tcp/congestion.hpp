@@ -1,0 +1,53 @@
+// Reno congestion control: slow start, congestion avoidance, fast
+// retransmit/fast recovery (NewReno-lite: one recovery episode per window).
+//
+// Kept separate from the connection FSM so the jitter/bandwidth experiments
+// can unit-test window evolution and so the scheduler ablation can swap
+// policies without touching the transport.
+#pragma once
+
+#include <cstdint>
+
+namespace h2priv::tcp {
+
+struct CongestionConfig {
+  std::uint32_t mss = 1452;
+  std::uint32_t initial_window_segments = 10;  // RFC 6928 IW10
+  std::uint32_t min_window_segments = 1;
+  std::uint64_t initial_ssthresh = UINT64_MAX;
+};
+
+class RenoCongestion {
+ public:
+  explicit RenoCongestion(CongestionConfig config = {}) noexcept;
+
+  /// New cumulative ACK advanced by `acked` bytes.
+  void on_ack(std::uint64_t acked_bytes) noexcept;
+
+  /// A duplicate ACK arrived (after the fast-retransmit threshold the
+  /// connection calls on_fast_retransmit instead).
+  void on_dup_ack() noexcept;
+
+  /// Third duplicate ACK: halve, enter fast recovery.
+  void on_fast_retransmit() noexcept;
+
+  /// Recovery completes when the ACK covers data sent after the loss.
+  void on_recovery_exit() noexcept;
+
+  /// Retransmission timer fired: collapse to one segment, ssthresh = half.
+  void on_timeout() noexcept;
+
+  [[nodiscard]] std::uint64_t cwnd() const noexcept { return cwnd_; }
+  [[nodiscard]] std::uint64_t ssthresh() const noexcept { return ssthresh_; }
+  [[nodiscard]] bool in_recovery() const noexcept { return in_recovery_; }
+  [[nodiscard]] bool in_slow_start() const noexcept { return cwnd_ < ssthresh_; }
+
+ private:
+  CongestionConfig config_;
+  std::uint64_t cwnd_;
+  std::uint64_t ssthresh_;
+  std::uint64_t ca_acc_ = 0;  // congestion-avoidance byte accumulator
+  bool in_recovery_ = false;
+};
+
+}  // namespace h2priv::tcp

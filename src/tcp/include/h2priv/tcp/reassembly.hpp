@@ -1,0 +1,35 @@
+// Receiver-side out-of-order reassembly buffer.
+//
+// Stores segments above rcv_nxt, trims overlaps, and drains the contiguous
+// prefix once the gap fills. Duplicate retransmissions are absorbed here —
+// which is exactly why the paper's "extra object copies" have to come from
+// the application layer (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "h2priv/util/bytes.hpp"
+
+namespace h2priv::tcp {
+
+class Reassembly {
+ public:
+  explicit Reassembly(std::uint64_t initial_rcv_nxt = 0) noexcept
+      : rcv_nxt_(initial_rcv_nxt) {}
+
+  /// Offers a segment at absolute stream offset `seq`. Returns the bytes that
+  /// became deliverable in order (possibly empty).
+  [[nodiscard]] util::Bytes offer(std::uint64_t seq, util::BytesView data);
+
+  [[nodiscard]] std::uint64_t rcv_nxt() const noexcept { return rcv_nxt_; }
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept { return buffered_; }
+  [[nodiscard]] bool has_gaps() const noexcept { return !segments_.empty(); }
+
+ private:
+  std::uint64_t rcv_nxt_;
+  std::size_t buffered_ = 0;
+  std::map<std::uint64_t, util::Bytes> segments_;  // seq -> payload (disjoint)
+};
+
+}  // namespace h2priv::tcp

@@ -1,0 +1,35 @@
+// Sender-side byte stream: application bytes keyed by absolute stream
+// offset, with retransmission reads anywhere in the unacknowledged range.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "h2priv/util/bytes.hpp"
+
+namespace h2priv::tcp {
+
+class SendBuffer {
+ public:
+  /// Appends application bytes; returns the stream offset of the first byte.
+  std::uint64_t append(util::BytesView data);
+
+  /// Copies up to `max_len` bytes starting at stream offset `offset`.
+  /// Throws std::out_of_range if offset is below the acked watermark or past
+  /// the end of enqueued data.
+  [[nodiscard]] util::Bytes read(std::uint64_t offset, std::size_t max_len) const;
+
+  /// Releases bytes below `new_acked` (cumulative ACK advanced).
+  void ack(std::uint64_t new_acked);
+
+  [[nodiscard]] std::uint64_t acked() const noexcept { return base_; }
+  [[nodiscard]] std::uint64_t end() const noexcept { return base_ + buf_.size(); }
+  /// Bytes enqueued and not yet acknowledged.
+  [[nodiscard]] std::uint64_t outstanding() const noexcept { return buf_.size(); }
+
+ private:
+  std::uint64_t base_ = 0;          // stream offset of buf_[0]
+  std::deque<std::uint8_t> buf_;    // unacked + unsent bytes
+};
+
+}  // namespace h2priv::tcp

@@ -1,0 +1,64 @@
+#include "h2priv/tcp/reassembly.hpp"
+
+#include <algorithm>
+
+namespace h2priv::tcp {
+
+util::Bytes Reassembly::offer(std::uint64_t seq, util::BytesView data) {
+  std::uint64_t begin = seq;
+  std::uint64_t seg_end = seq + data.size();
+
+  // Trim anything already delivered.
+  if (seg_end <= rcv_nxt_) return {};
+  if (begin < rcv_nxt_) {
+    data = data.subspan(static_cast<std::size_t>(rcv_nxt_ - begin));
+    begin = rcv_nxt_;
+  }
+
+  // Trim against buffered segments (keep existing bytes, they are identical
+  // on a faithful retransmission; on divergence first-arrival wins).
+  // Left neighbour:
+  if (auto it = segments_.upper_bound(begin); it != segments_.begin()) {
+    auto prev = std::prev(it);
+    const std::uint64_t prev_end = prev->first + prev->second.size();
+    if (prev_end >= seg_end) return {};  // fully covered
+    if (prev_end > begin) {
+      data = data.subspan(static_cast<std::size_t>(prev_end - begin));
+      begin = prev_end;
+    }
+  }
+  // Right neighbours: insert the non-overlapping pieces between/after them.
+  util::Bytes delivered;
+  while (!data.empty()) {
+    auto it = segments_.lower_bound(begin);
+    std::uint64_t piece_end = seg_end;
+    if (it != segments_.end()) piece_end = std::min(piece_end, it->first);
+    if (piece_end > begin) {
+      const std::size_t n = static_cast<std::size_t>(piece_end - begin);
+      util::Bytes piece(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(n));
+      buffered_ += piece.size();
+      segments_.emplace(begin, std::move(piece));
+      data = data.subspan(n);
+      begin = piece_end;
+    }
+    if (data.empty()) break;
+    // Skip over the already-buffered neighbour.
+    if (it == segments_.end()) break;
+    const std::uint64_t covered_end = it->first + it->second.size();
+    const std::uint64_t skip_to = std::min<std::uint64_t>(covered_end, seg_end);
+    if (skip_to <= begin) break;
+    data = data.subspan(static_cast<std::size_t>(skip_to - begin));
+    begin = skip_to;
+  }
+
+  // Drain the contiguous prefix.
+  while (!segments_.empty() && segments_.begin()->first == rcv_nxt_) {
+    auto node = segments_.extract(segments_.begin());
+    buffered_ -= node.mapped().size();
+    rcv_nxt_ += node.mapped().size();
+    delivered.insert(delivered.end(), node.mapped().begin(), node.mapped().end());
+  }
+  return delivered;
+}
+
+}  // namespace h2priv::tcp

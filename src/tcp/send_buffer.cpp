@@ -1,0 +1,32 @@
+#include "h2priv/tcp/send_buffer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace h2priv::tcp {
+
+std::uint64_t SendBuffer::append(util::BytesView data) {
+  const std::uint64_t offset = end();
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  return offset;
+}
+
+util::Bytes SendBuffer::read(std::uint64_t offset, std::size_t max_len) const {
+  if (offset < base_ || offset > end()) {
+    throw std::out_of_range("SendBuffer::read: offset outside buffered range");
+  }
+  const std::size_t start = static_cast<std::size_t>(offset - base_);
+  const std::size_t n = std::min(max_len, buf_.size() - start);
+  util::Bytes out(n);
+  std::copy_n(buf_.begin() + static_cast<std::ptrdiff_t>(start), n, out.begin());
+  return out;
+}
+
+void SendBuffer::ack(std::uint64_t new_acked) {
+  if (new_acked <= base_) return;
+  if (new_acked > end()) throw std::out_of_range("SendBuffer::ack: beyond enqueued data");
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(new_acked - base_));
+  base_ = new_acked;
+}
+
+}  // namespace h2priv::tcp

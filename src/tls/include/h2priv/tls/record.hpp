@@ -1,0 +1,93 @@
+// TLS record layer model.
+//
+// Real record framing (5-byte header: type, version, length) with a toy
+// stream cipher + MAC standing in for AEAD. The point is not cryptographic
+// strength — it is the *discipline*: payload bytes on the wire are
+// scrambled, so nothing in this codebase can accidentally "cheat" by reading
+// plaintext off a packet. An on-path observer sees exactly what tshark's
+// `ssl.record.content_type` filter sees: type and length.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "h2priv/util/bytes.hpp"
+
+namespace h2priv::tls {
+
+enum class ContentType : std::uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+inline constexpr std::size_t kHeaderBytes = 5;
+inline constexpr std::size_t kMaxPlaintext = 16 * 1024;  // 2^14 (RFC 8446)
+inline constexpr std::size_t kAeadOverhead = 16;         // tag bytes per record
+inline constexpr std::uint16_t kVersionTls12 = 0x0303;
+
+class TlsError : public std::runtime_error {
+ public:
+  explicit TlsError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Seals plaintext into records / opens records back into plaintext. One
+/// SealContext per (session, direction); record sequence numbers key the
+/// keystream so replayed or reordered ciphertext fails authentication.
+class SealContext {
+ public:
+  SealContext(std::uint64_t session_secret, std::uint8_t direction_domain) noexcept
+      : secret_(session_secret), domain_(direction_domain) {}
+
+  /// Chunks plaintext into >= 1 records and returns their concatenated wire
+  /// bytes. Empty plaintext produces a single empty record.
+  [[nodiscard]] util::Bytes seal(ContentType type, util::BytesView plaintext);
+
+  [[nodiscard]] std::uint64_t records_sealed() const noexcept { return seq_; }
+
+  /// Wire overhead added when sealing `n` plaintext bytes in maximal records.
+  [[nodiscard]] static std::size_t sealed_size(std::size_t plaintext_len) noexcept;
+
+ private:
+  std::uint64_t secret_;
+  std::uint8_t domain_;
+  std::uint64_t seq_ = 0;
+};
+
+class OpenContext {
+ public:
+  OpenContext(std::uint64_t session_secret, std::uint8_t direction_domain) noexcept
+      : secret_(session_secret), domain_(direction_domain) {}
+
+  struct Record {
+    ContentType type;
+    util::Bytes plaintext;
+  };
+
+  /// Opens exactly one record from the front of `wire`; advances `consumed`.
+  /// Throws TlsError on authentication failure or truncation.
+  [[nodiscard]] Record open_one(util::BytesView wire, std::size_t& consumed);
+
+ private:
+  std::uint64_t secret_;
+  std::uint8_t domain_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Incremental record-boundary scanner over a (possibly partial) byte
+/// stream. Used both by the receiving endpoint (to know when a full record
+/// has arrived) and by the adversary's monitor (which can read only the
+/// 5-byte headers). Stateless: give it a buffer, it tells you about the
+/// complete records at the front.
+struct RecordHeader {
+  ContentType type;
+  std::uint16_t ciphertext_len;  // record body length on the wire
+};
+
+/// Parses the header at the front of `buf`. Returns false if fewer than 5
+/// bytes are available. Throws TlsError on an invalid content type.
+[[nodiscard]] bool parse_header(util::BytesView buf, RecordHeader& out);
+
+}  // namespace h2priv::tls

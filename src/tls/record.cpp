@@ -1,0 +1,118 @@
+#include "h2priv/tls/record.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "h2priv/util/narrow.hpp"
+
+namespace h2priv::tls {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Keystream byte i for a given record.
+std::uint8_t keystream_byte(std::uint64_t secret, std::uint8_t domain, std::uint64_t seq,
+                            std::uint64_t i) noexcept {
+  const std::uint64_t block = mix(secret ^ (static_cast<std::uint64_t>(domain) << 56) ^
+                                  (seq * 0x9e3779b97f4a7c15ull) ^ (i / 8));
+  return static_cast<std::uint8_t>(block >> ((i % 8) * 8));
+}
+
+/// 16-byte tag over the plaintext (keyed digest).
+std::array<std::uint8_t, kAeadOverhead> compute_tag(std::uint64_t secret, std::uint8_t domain,
+                                                    std::uint64_t seq,
+                                                    util::BytesView plaintext) noexcept {
+  std::uint64_t h1 = mix(secret ^ 0x746167u ^ seq);  // "tag"
+  std::uint64_t h2 = mix(h1 ^ domain);
+  for (const std::uint8_t b : plaintext) {
+    h1 = mix(h1 ^ b);
+    h2 = h2 * 31 + b;
+  }
+  std::array<std::uint8_t, kAeadOverhead> tag{};
+  for (int i = 0; i < 8; ++i) {
+    tag[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(h1 >> (i * 8));
+    tag[static_cast<std::size_t>(i) + 8] = static_cast<std::uint8_t>(h2 >> (i * 8));
+  }
+  return tag;
+}
+
+ContentType check_type(std::uint8_t raw) {
+  switch (raw) {
+    case 20: return ContentType::kChangeCipherSpec;
+    case 21: return ContentType::kAlert;
+    case 22: return ContentType::kHandshake;
+    case 23: return ContentType::kApplicationData;
+    default: throw TlsError("invalid TLS content type " + std::to_string(raw));
+  }
+}
+
+}  // namespace
+
+util::Bytes SealContext::seal(ContentType type, util::BytesView plaintext) {
+  util::ByteWriter w(sealed_size(plaintext.size()));
+  std::size_t off = 0;
+  do {
+    const std::size_t chunk = std::min(plaintext.size() - off, kMaxPlaintext);
+    const util::BytesView piece = plaintext.subspan(off, chunk);
+    const std::uint64_t seq = seq_++;
+
+    w.u8(static_cast<std::uint8_t>(type));
+    w.u16(kVersionTls12);
+    w.u16(util::narrow<std::uint16_t>(chunk + kAeadOverhead));
+    for (std::size_t i = 0; i < chunk; ++i) {
+      w.u8(static_cast<std::uint8_t>(piece[i] ^ keystream_byte(secret_, domain_, seq, i)));
+    }
+    const auto tag = compute_tag(secret_, domain_, seq, piece);
+    w.bytes(util::BytesView(tag.data(), tag.size()));
+    off += chunk;
+  } while (off < plaintext.size());
+  return w.take();
+}
+
+std::size_t SealContext::sealed_size(std::size_t plaintext_len) noexcept {
+  const std::size_t records =
+      plaintext_len == 0 ? 1 : (plaintext_len + kMaxPlaintext - 1) / kMaxPlaintext;
+  return plaintext_len + records * (kHeaderBytes + kAeadOverhead);
+}
+
+OpenContext::Record OpenContext::open_one(util::BytesView wire, std::size_t& consumed) {
+  RecordHeader hdr{};
+  if (!parse_header(wire, hdr)) throw TlsError("open_one: truncated header");
+  if (wire.size() < kHeaderBytes + hdr.ciphertext_len) throw TlsError("open_one: truncated body");
+  if (hdr.ciphertext_len < kAeadOverhead) throw TlsError("open_one: body below tag size");
+
+  const std::uint64_t seq = seq_++;
+  const std::size_t ptext_len = hdr.ciphertext_len - kAeadOverhead;
+  util::Bytes plaintext(ptext_len);
+  for (std::size_t i = 0; i < ptext_len; ++i) {
+    plaintext[i] = static_cast<std::uint8_t>(wire[kHeaderBytes + i] ^
+                                             keystream_byte(secret_, domain_, seq, i));
+  }
+  const auto expect = compute_tag(secret_, domain_, seq, plaintext);
+  const util::BytesView got = wire.subspan(kHeaderBytes + ptext_len, kAeadOverhead);
+  if (!std::equal(expect.begin(), expect.end(), got.begin())) {
+    throw TlsError("open_one: authentication failure (corrupted or out-of-order record)");
+  }
+  consumed = kHeaderBytes + hdr.ciphertext_len;
+  return Record{hdr.type, std::move(plaintext)};
+}
+
+bool parse_header(util::BytesView buf, RecordHeader& out) {
+  if (buf.size() < kHeaderBytes) return false;
+  out.type = check_type(buf[0]);
+  const std::uint16_t version = static_cast<std::uint16_t>((buf[1] << 8) | buf[2]);
+  if (version != kVersionTls12) throw TlsError("unsupported TLS version on wire");
+  out.ciphertext_len = static_cast<std::uint16_t>((buf[3] << 8) | buf[4]);
+  return true;
+}
+
+}  // namespace h2priv::tls

@@ -1,0 +1,126 @@
+#include "h2priv/util/bytes.hpp"
+
+#include <stdexcept>
+
+namespace h2priv::util {
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u24(std::uint32_t v) {
+  if (v >= (1u << 24)) throw std::invalid_argument("u24 value out of range");
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::bytes(std::string_view v) {
+  buf_.insert(buf_.end(), v.begin(), v.end());
+}
+
+void ByteWriter::fill(std::size_t n, std::uint8_t fill_byte) {
+  buf_.insert(buf_.end(), n, fill_byte);
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw OutOfBounds("ByteReader: need " + std::to_string(n) + " bytes, have " +
+                      std::to_string(remaining()));
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint8_t ByteReader::peek_u8() const {
+  require(1);
+  return data_[pos_];
+}
+
+std::uint16_t ByteReader::u16() {
+  require(2);
+  const auto v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u24() {
+  require(3);
+  const std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 16) |
+                          (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+                          static_cast<std::uint32_t>(data_[pos_ + 2]);
+  pos_ += 3;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+BytesView ByteReader::bytes(std::size_t n) {
+  require(n);
+  const BytesView v = data_.subspan(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+BytesView ByteReader::rest() noexcept {
+  const BytesView v = data_.subspan(pos_);
+  pos_ = data_.size();
+  return v;
+}
+
+void ByteReader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+Bytes patterned_bytes(std::size_t n, std::uint32_t tag) {
+  Bytes out(n);
+  // splitmix-style mixing keeps the pattern cheap yet position-sensitive, so
+  // any reordering or truncation in transit changes the reassembled payload.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull ^ tag;
+  for (std::size_t i = 0; i < n; ++i) {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    out[i] = static_cast<std::uint8_t>((z ^ (z >> 31)) & 0xff);
+  }
+  return out;
+}
+
+}  // namespace h2priv::util

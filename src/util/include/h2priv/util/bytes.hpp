@@ -1,0 +1,88 @@
+// Byte-buffer primitives shared by every wire-format codec in the project.
+//
+// ByteWriter appends big-endian integers and raw spans to a growable buffer;
+// ByteReader consumes them with bounds checking. All protocol encoders
+// (TCP segment headers, TLS records, HTTP/2 frames, HPACK) are built on
+// these two types so that framing bugs surface as exceptions, not UB.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace h2priv::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Thrown by ByteReader when a read would run past the end of the buffer.
+class OutOfBounds : public std::runtime_error {
+ public:
+  explicit OutOfBounds(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends big-endian scalars and byte runs to an owned buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u24(std::uint32_t v);  ///< low 24 bits; throws std::invalid_argument if v >= 2^24
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(BytesView v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+  void bytes(std::string_view v);
+  /// Appends `n` copies of `fill`.
+  void fill(std::size_t n, std::uint8_t fill_byte);
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const Bytes& view() const noexcept { return buf_; }
+  /// Moves the accumulated buffer out; the writer is empty afterwards.
+  [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consumes big-endian scalars and byte runs from a non-owned view.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  /// Reads the next byte without consuming it.
+  [[nodiscard]] std::uint8_t peek_u8() const;
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u24();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] BytesView bytes(std::size_t n);
+  /// Returns everything not yet consumed and advances to the end.
+  [[nodiscard]] BytesView rest() noexcept;
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+  void skip(std::size_t n);
+
+ private:
+  void require(std::size_t n) const;
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Builds a Bytes from a string literal / string_view (ASCII payloads in tests).
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+
+/// Builds a deterministic pseudo-content buffer of length `n` whose bytes are a
+/// function of (`tag`, index). Used for synthetic web objects so that
+/// reassembled payloads can be integrity-checked end to end.
+[[nodiscard]] Bytes patterned_bytes(std::size_t n, std::uint32_t tag);
+
+}  // namespace h2priv::util

@@ -1,0 +1,18 @@
+// Hex encode/decode helpers for tests and trace dumps.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "h2priv/util/bytes.hpp"
+
+namespace h2priv::util {
+
+/// Lower-case hex rendering of a byte span ("deadbeef").
+[[nodiscard]] std::string to_hex(BytesView data);
+
+/// Parses lower/upper-case hex; throws std::invalid_argument on odd length or
+/// non-hex characters.
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+}  // namespace h2priv::util

@@ -1,0 +1,36 @@
+// Checked narrowing conversions, in the spirit of gsl::narrow.
+#pragma once
+
+#include <limits>
+#include <stdexcept>
+#include <type_traits>
+
+namespace h2priv::util {
+
+/// Thrown when a narrowing conversion would change the value.
+class NarrowingError : public std::runtime_error {
+ public:
+  NarrowingError() : std::runtime_error("narrowing conversion changed value") {}
+};
+
+/// Converts `v` to `To`, throwing NarrowingError if the value does not survive
+/// the round trip (including signedness flips).
+template <class To, class From>
+constexpr To narrow(From v) {
+  static_assert(std::is_arithmetic_v<To> && std::is_arithmetic_v<From>);
+  const To result = static_cast<To>(v);
+  if (static_cast<From>(result) != v) throw NarrowingError{};
+  if constexpr (std::is_signed_v<From> != std::is_signed_v<To>) {
+    if ((v < From{}) != (result < To{})) throw NarrowingError{};
+  }
+  return result;
+}
+
+/// Unchecked narrowing for cases the caller has already bounds-checked;
+/// documents intent at the call site.
+template <class To, class From>
+constexpr To narrow_cast(From v) noexcept {
+  return static_cast<To>(v);
+}
+
+}  // namespace h2priv::util

@@ -1,0 +1,69 @@
+// Simulation units: time is integral nanoseconds, rates are bits/second.
+//
+// Using a strong Duration/TimePoint pair (rather than raw int64) keeps
+// millisecond paper parameters, microsecond IATs and nanosecond serialization
+// delays from being mixed up silently.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace h2priv::util {
+
+/// Nanosecond duration. Plain struct with value semantics; arithmetic is
+/// exact (no floating point drift across a simulation run).
+struct Duration {
+  std::int64_t ns = 0;
+
+  friend constexpr Duration operator+(Duration a, Duration b) noexcept { return {a.ns + b.ns}; }
+  friend constexpr Duration operator-(Duration a, Duration b) noexcept { return {a.ns - b.ns}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) noexcept { return {a.ns * k}; }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) noexcept { return {a.ns * k}; }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) noexcept { return {a.ns / k}; }
+  constexpr Duration& operator+=(Duration o) noexcept { ns += o.ns; return *this; }
+  constexpr Duration& operator-=(Duration o) noexcept { ns -= o.ns; return *this; }
+  friend constexpr auto operator<=>(Duration, Duration) noexcept = default;
+
+  [[nodiscard]] constexpr double seconds() const noexcept { return static_cast<double>(ns) / 1e9; }
+  [[nodiscard]] constexpr double millis() const noexcept { return static_cast<double>(ns) / 1e6; }
+};
+
+constexpr Duration nanoseconds(std::int64_t v) noexcept { return {v}; }
+constexpr Duration microseconds(std::int64_t v) noexcept { return {v * 1'000}; }
+constexpr Duration milliseconds(std::int64_t v) noexcept { return {v * 1'000'000}; }
+constexpr Duration seconds(std::int64_t v) noexcept { return {v * 1'000'000'000}; }
+
+/// Absolute simulation time (ns since simulation start).
+struct TimePoint {
+  std::int64_t ns = 0;
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) noexcept { return {t.ns + d.ns}; }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) noexcept { return {t.ns + d.ns}; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) noexcept { return {t.ns - d.ns}; }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) noexcept { return {a.ns - b.ns}; }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) noexcept = default;
+
+  [[nodiscard]] constexpr double seconds() const noexcept { return static_cast<double>(ns) / 1e9; }
+  [[nodiscard]] constexpr double millis() const noexcept { return static_cast<double>(ns) / 1e6; }
+};
+
+/// Link rate in bits per second.
+struct BitRate {
+  std::int64_t bits_per_sec = 0;
+
+  friend constexpr auto operator<=>(BitRate, BitRate) noexcept = default;
+
+  /// Time to serialize `bytes` onto a link at this rate (ceil to whole ns).
+  [[nodiscard]] constexpr Duration transmission_time(std::int64_t bytes) const noexcept {
+    if (bits_per_sec <= 0) return Duration{0};
+    const std::int64_t bits = bytes * 8;
+    return Duration{(bits * 1'000'000'000 + bits_per_sec - 1) / bits_per_sec};
+  }
+};
+
+constexpr BitRate bits_per_second(std::int64_t v) noexcept { return {v}; }
+constexpr BitRate kilobits_per_second(std::int64_t v) noexcept { return {v * 1'000}; }
+constexpr BitRate megabits_per_second(std::int64_t v) noexcept { return {v * 1'000'000}; }
+constexpr BitRate gigabits_per_second(std::int64_t v) noexcept { return {v * 1'000'000'000}; }
+
+}  // namespace h2priv::util

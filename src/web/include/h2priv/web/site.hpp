@@ -1,0 +1,65 @@
+// Website model: a set of addressable objects plus the order and timing in
+// which a browser requests them during a page load.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "h2priv/util/bytes.hpp"
+#include "h2priv/util/units.hpp"
+
+namespace h2priv::web {
+
+using ObjectId = std::uint32_t;
+
+struct SiteObject {
+  ObjectId id = 0;
+  std::string path;
+  std::string content_type;
+  std::size_t size = 0;
+  /// Server-side service time before the first body byte is produced
+  /// (static files: ~0; dynamically generated pages: tens of ms). This is
+  /// what request spacing must beat to serialize a response (Section IV-B).
+  util::Duration service_time{};
+
+  /// Deterministic body (integrity-checkable end to end).
+  [[nodiscard]] util::Bytes body() const { return util::patterned_bytes(size, id); }
+};
+
+class Site {
+ public:
+  /// Adds an object; paths must be unique. Returns its id.
+  ObjectId add(std::string path, std::string content_type, std::size_t size,
+               util::Duration service_time = {});
+
+  [[nodiscard]] const SiteObject* find_by_path(std::string_view path) const;
+  [[nodiscard]] const SiteObject& object(ObjectId id) const;
+  [[nodiscard]] const std::vector<SiteObject>& objects() const noexcept { return objects_; }
+
+ private:
+  std::vector<SiteObject> objects_;
+};
+
+/// One page load: the ordered GETs a browser issues and their spacing.
+struct RequestPlan {
+  struct Item {
+    ObjectId object_id = 0;
+    /// Gap after the previous request in the same phase.
+    util::Duration gap_before{};
+    /// Items in the deferred phase wait for `trigger_object` to complete
+    /// (script-driven loads, e.g. the 8 emblem images).
+    bool deferred = false;
+  };
+  std::vector<Item> items;
+  /// Object whose completion starts the deferred phase (0 = none).
+  ObjectId trigger_object = 0;
+  /// Extra delay between trigger completion and the first deferred request
+  /// (script execution time).
+  util::Duration trigger_delay{};
+
+  [[nodiscard]] std::size_t size() const noexcept { return items.size(); }
+};
+
+}  // namespace h2priv::web

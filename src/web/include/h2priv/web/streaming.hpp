@@ -1,0 +1,43 @@
+// Streaming-traffic model (paper §VII, "Exploring other types of web
+// traffic"): a DASH-like adaptive video session.
+//
+// The media library exposes one object per (segment index, bitrate rung);
+// a player fetches one segment per period, choosing the rung by measured
+// throughput. The sensitive information is the *rung sequence* (what quality
+// — hence, with per-title encoding, what content — the viewer got), readable
+// from encrypted segment sizes exactly like the emblem images.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "h2priv/web/site.hpp"
+
+namespace h2priv::web {
+
+inline constexpr int kBitrateRungs = 4;
+/// Ladder in kilobits per second (segment duration 2 s).
+inline constexpr std::array<int, kBitrateRungs> kLadderKbps = {300, 750, 1'500, 3'000};
+inline constexpr util::Duration kSegmentDuration{util::seconds(2)};
+
+struct StreamingLibrary {
+  Site site;
+  int segment_count = 0;
+  /// object id for (segment, rung).
+  [[nodiscard]] ObjectId segment(int index, int rung) const {
+    return ids.at(static_cast<std::size_t>(index * kBitrateRungs + rung));
+  }
+  [[nodiscard]] static std::size_t rung_bytes(int rung) {
+    // bits/s * 2 s / 8, with a per-segment container overhead.
+    return static_cast<std::size_t>(kLadderKbps.at(static_cast<std::size_t>(rung))) * 250 +
+           800;
+  }
+  std::vector<ObjectId> ids;
+};
+
+/// Builds a library of `segments` media segments at each ladder rung.
+[[nodiscard]] StreamingLibrary build_streaming_library(int segments);
+
+}  // namespace h2priv::web

@@ -1,0 +1,32 @@
+#include "h2priv/web/site.hpp"
+
+#include <stdexcept>
+
+namespace h2priv::web {
+
+ObjectId Site::add(std::string path, std::string content_type, std::size_t size,
+                   util::Duration service_time) {
+  if (find_by_path(path) != nullptr) {
+    throw std::invalid_argument("Site::add: duplicate path " + path);
+  }
+  const ObjectId id = static_cast<ObjectId>(objects_.size() + 1);
+  objects_.push_back(
+      SiteObject{id, std::move(path), std::move(content_type), size, service_time});
+  return id;
+}
+
+const SiteObject* Site::find_by_path(std::string_view path) const {
+  for (const SiteObject& o : objects_) {
+    if (o.path == path) return &o;
+  }
+  return nullptr;
+}
+
+const SiteObject& Site::object(ObjectId id) const {
+  if (id == 0 || id > objects_.size()) {
+    throw std::out_of_range("Site::object: bad id " + std::to_string(id));
+  }
+  return objects_[id - 1];
+}
+
+}  // namespace h2priv::web

@@ -1,0 +1,19 @@
+#include "h2priv/web/streaming.hpp"
+
+namespace h2priv::web {
+
+StreamingLibrary build_streaming_library(int segments) {
+  StreamingLibrary lib;
+  lib.segment_count = segments;
+  constexpr util::Duration kStatic = util::microseconds(300);
+  for (int index = 0; index < segments; ++index) {
+    for (int rung = 0; rung < kBitrateRungs; ++rung) {
+      lib.ids.push_back(lib.site.add(
+          "/media/seg-" + std::to_string(index) + "-q" + std::to_string(rung) + ".m4s",
+          "video/iso.segment", StreamingLibrary::rung_bytes(rung), kStatic));
+    }
+  }
+  return lib;
+}
+
+}  // namespace h2priv::web

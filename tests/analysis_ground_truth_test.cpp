@@ -1,0 +1,135 @@
+// Degree-of-multiplexing metric on synthetic wire intervals.
+#include "h2priv/analysis/ground_truth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h2priv::analysis {
+namespace {
+
+InstanceId add_instance(GroundTruth& gt, web::ObjectId obj,
+                        std::initializer_list<std::pair<std::uint64_t, std::uint64_t>> spans,
+                        bool dup = false, bool complete = true) {
+  const InstanceId id = gt.register_instance(obj, obj * 2 + 1, dup);
+  for (const auto& [b, e] : spans) gt.record_data(id, h2::WireSpan{b, e});
+  if (complete) gt.mark_complete(id);
+  return id;
+}
+
+TEST(GroundTruth, SerializedObjectsHaveZeroDom) {
+  GroundTruth gt;
+  const InstanceId a = add_instance(gt, 1, {{0, 1'000}});
+  const InstanceId b = add_instance(gt, 2, {{1'000, 2'500}});
+  EXPECT_EQ(gt.degree_of_multiplexing(a), 0.0);
+  EXPECT_EQ(gt.degree_of_multiplexing(b), 0.0);
+}
+
+TEST(GroundTruth, FullyNestedInstanceHasDomOne) {
+  GroundTruth gt;
+  add_instance(gt, 1, {{0, 400}, {600, 1'000}});
+  const InstanceId inner = add_instance(gt, 2, {{400, 600}});
+  EXPECT_EQ(gt.degree_of_multiplexing(inner), 1.0);
+}
+
+TEST(GroundTruth, InterleavedPairBothHighDom) {
+  GroundTruth gt;
+  // A and B alternate chunks: every byte of each lies within the other's span.
+  const InstanceId a = add_instance(gt, 1, {{0, 100}, {200, 300}, {400, 500}});
+  const InstanceId b = add_instance(gt, 2, {{100, 200}, {300, 400}});
+  // Only A's middle chunk lies inside B's span [100,400).
+  EXPECT_DOUBLE_EQ(gt.degree_of_multiplexing(a), 1.0 / 3.0);
+  EXPECT_EQ(gt.degree_of_multiplexing(b), 1.0);
+}
+
+TEST(GroundTruth, PartialOverlapIsFractional) {
+  GroundTruth gt;
+  // A occupies [0,1000); B's span covers [800,1600): 200 of A's 1000 bytes.
+  const InstanceId a = add_instance(gt, 1, {{0, 1'000}});
+  add_instance(gt, 2, {{800, 900}, {1'500, 1'600}});
+  EXPECT_DOUBLE_EQ(gt.degree_of_multiplexing(a), 0.2);
+}
+
+TEST(GroundTruth, DuplicateCopiesCountAsForeign) {
+  GroundTruth gt;
+  // A copy of the same object interleaving still destroys the boundary: its
+  // span [450,650) covers the original's bytes in [450,500).
+  const InstanceId original = add_instance(gt, 1, {{0, 500}, {700, 1'000}});
+  add_instance(gt, 1, {{450, 650}}, /*dup=*/true);
+  EXPECT_DOUBLE_EQ(gt.degree_of_multiplexing(original), 50.0 / 800.0);
+}
+
+TEST(GroundTruth, EmptyInstanceHasZeroDom) {
+  GroundTruth gt;
+  const InstanceId a = gt.register_instance(1, 1, false);
+  EXPECT_EQ(gt.degree_of_multiplexing(a), 0.0);
+}
+
+TEST(GroundTruth, PrimaryInstanceSkipsDuplicates) {
+  GroundTruth gt;
+  add_instance(gt, 1, {{0, 100}}, /*dup=*/true);
+  const InstanceId primary = add_instance(gt, 1, {{100, 200}}, /*dup=*/false);
+  ASSERT_NE(gt.primary_instance(1), nullptr);
+  EXPECT_EQ(gt.primary_instance(1)->id, primary);
+  EXPECT_EQ(gt.primary_instance(2), nullptr);
+}
+
+TEST(GroundTruth, ObjectDomUsesPrimary) {
+  GroundTruth gt;
+  add_instance(gt, 1, {{0, 1'000}});
+  add_instance(gt, 2, {{2'000, 3'000}});
+  EXPECT_EQ(gt.object_dom(1), 0.0);
+  EXPECT_EQ(gt.object_dom(99), std::nullopt);
+}
+
+TEST(GroundTruth, AnySerializedInstanceChecksCopies) {
+  GroundTruth gt;
+  // Primary is interleaved with B (B's span covers part of it); a later
+  // duplicate copy is clean.
+  add_instance(gt, 1, {{0, 100}, {200, 300}});
+  add_instance(gt, 2, {{50, 250}});
+  EXPECT_FALSE(gt.any_serialized_instance(1));
+  add_instance(gt, 1, {{5'000, 5'100}}, /*dup=*/true);
+  EXPECT_TRUE(gt.any_serialized_instance(1));
+}
+
+TEST(GroundTruth, IncompleteSerializedCopyDoesNotCount) {
+  GroundTruth gt;
+  add_instance(gt, 1, {{0, 100}, {200, 300}});
+  add_instance(gt, 2, {{50, 250}});
+  add_instance(gt, 1, {{5'000, 5'100}}, /*dup=*/true, /*complete=*/false);
+  EXPECT_FALSE(gt.any_serialized_instance(1));
+}
+
+TEST(GroundTruth, InstanceAccountingAndSpan) {
+  GroundTruth gt;
+  const InstanceId a = add_instance(gt, 1, {{10, 20}, {50, 80}});
+  const ResponseInstance& inst = gt.instance(a);
+  EXPECT_EQ(inst.data_bytes(), 40u);
+  ASSERT_TRUE(inst.span().has_value());
+  EXPECT_EQ(inst.span()->begin, 10u);
+  EXPECT_EQ(inst.span()->end, 80u);
+  EXPECT_THROW((void)gt.instance(0), std::out_of_range);
+  EXPECT_THROW((void)gt.instance(99), std::out_of_range);
+}
+
+TEST(GroundTruth, HeadersRecordedSeparately) {
+  GroundTruth gt;
+  const InstanceId a = gt.register_instance(1, 1, false);
+  gt.record_headers(a, h2::WireSpan{0, 50});
+  gt.record_data(a, h2::WireSpan{50, 150});
+  EXPECT_EQ(gt.instance(a).headers.size(), 1u);
+  EXPECT_EQ(gt.instance(a).data_bytes(), 100u)
+      << "headers must not count toward body bytes / DoM";
+}
+
+TEST(GroundTruth, ThreeWayInterleaving) {
+  GroundTruth gt;
+  const InstanceId a = add_instance(gt, 1, {{0, 100}, {300, 400}});
+  const InstanceId b = add_instance(gt, 2, {{100, 200}, {400, 500}});
+  const InstanceId c = add_instance(gt, 3, {{200, 300}, {500, 600}});
+  EXPECT_GT(gt.degree_of_multiplexing(a), 0.0);
+  EXPECT_EQ(gt.degree_of_multiplexing(b), 1.0);
+  EXPECT_GT(gt.degree_of_multiplexing(c), 0.0);
+}
+
+}  // namespace
+}  // namespace h2priv::analysis

@@ -1,0 +1,128 @@
+// Monitor-side stream reassembly and TLS record extraction from observed
+// packets (the adversary's tshark view).
+#include "h2priv/analysis/monitor_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "h2priv/tls/record.hpp"
+
+namespace h2priv::analysis {
+namespace {
+
+constexpr std::uint64_t kSecret = 99;
+
+PacketObservation packet_at(std::uint64_t seq, std::size_t payload_len,
+                            util::TimePoint t = {}) {
+  PacketObservation p;
+  p.time = t;
+  p.dir = net::Direction::kServerToClient;
+  p.seq = seq;
+  p.payload_len = payload_len;
+  return p;
+}
+
+TEST(MonitorStream, ExtractsRecordsFromSinglePacket) {
+  tls::SealContext seal(kSecret, 1);
+  util::Bytes wire = seal.seal(tls::ContentType::kApplicationData,
+                               util::patterned_bytes(100, 1));
+  const util::Bytes second =
+      seal.seal(tls::ContentType::kHandshake, util::patterned_bytes(40, 2));
+  wire.insert(wire.end(), second.begin(), second.end());
+
+  MonitorStream ms(net::Direction::kServerToClient);
+  ms.on_packet(packet_at(1, wire.size()), wire, util::TimePoint{5});
+  ASSERT_EQ(ms.records().size(), 2u);
+  EXPECT_EQ(ms.records()[0].type, tls::ContentType::kApplicationData);
+  EXPECT_EQ(ms.records()[0].ciphertext_len, 100 + tls::kAeadOverhead);
+  EXPECT_EQ(ms.records()[0].plaintext_estimate(), 100u);
+  EXPECT_EQ(ms.records()[1].type, tls::ContentType::kHandshake);
+  EXPECT_EQ(ms.records()[0].stream_offset, 0u);
+  EXPECT_EQ(ms.records()[1].stream_offset,
+            100 + tls::kHeaderBytes + tls::kAeadOverhead);
+}
+
+TEST(MonitorStream, RecordSplitAcrossPackets) {
+  tls::SealContext seal(kSecret, 1);
+  const util::Bytes wire =
+      seal.seal(tls::ContentType::kApplicationData, util::patterned_bytes(3'000, 3));
+  MonitorStream ms(net::Direction::kServerToClient);
+  const std::size_t half = wire.size() / 2;
+  ms.on_packet(packet_at(1, half), util::BytesView(wire.data(), half), util::TimePoint{1});
+  EXPECT_TRUE(ms.records().empty());
+  ms.on_packet(packet_at(1 + half, wire.size() - half),
+               util::BytesView(wire.data() + half, wire.size() - half), util::TimePoint{2});
+  ASSERT_EQ(ms.records().size(), 1u);
+  EXPECT_EQ(ms.records()[0].time.ns, 2) << "record completes with the second packet";
+}
+
+TEST(MonitorStream, OutOfOrderPacketsReassemble) {
+  tls::SealContext seal(kSecret, 1);
+  const util::Bytes wire =
+      seal.seal(tls::ContentType::kApplicationData, util::patterned_bytes(500, 4));
+  MonitorStream ms(net::Direction::kServerToClient);
+  const std::size_t half = wire.size() / 2;
+  // Second half arrives first.
+  ms.on_packet(packet_at(1 + half, wire.size() - half),
+               util::BytesView(wire.data() + half, wire.size() - half), util::TimePoint{1});
+  EXPECT_TRUE(ms.records().empty());
+  ms.on_packet(packet_at(1, half), util::BytesView(wire.data(), half), util::TimePoint{2});
+  ASSERT_EQ(ms.records().size(), 1u);
+}
+
+TEST(MonitorStream, RetransmittedBytesAreDeduplicated) {
+  tls::SealContext seal(kSecret, 1);
+  const util::Bytes wire =
+      seal.seal(tls::ContentType::kApplicationData, util::patterned_bytes(200, 5));
+  MonitorStream ms(net::Direction::kServerToClient);
+  ms.on_packet(packet_at(1, wire.size()), wire, util::TimePoint{1});
+  ms.on_packet(packet_at(1, wire.size()), wire, util::TimePoint{2});  // retransmit
+  EXPECT_EQ(ms.records().size(), 1u);
+}
+
+TEST(MonitorStream, CallbackFiresPerRecord) {
+  tls::SealContext seal(kSecret, 1);
+  util::Bytes wire;
+  for (int i = 0; i < 3; ++i) {
+    const util::Bytes rec = seal.seal(tls::ContentType::kApplicationData,
+                                      util::patterned_bytes(50, static_cast<std::uint32_t>(i)));
+    wire.insert(wire.end(), rec.begin(), rec.end());
+  }
+  MonitorStream ms(net::Direction::kServerToClient);
+  int fired = 0;
+  ms.on_record = [&](const RecordObservation&) { ++fired; };
+  ms.on_packet(packet_at(1, wire.size()), wire, util::TimePoint{1});
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(MonitorStream, EmptyPayloadIgnored) {
+  MonitorStream ms(net::Direction::kServerToClient);
+  ms.on_packet(packet_at(1, 0), util::BytesView{}, util::TimePoint{1});
+  EXPECT_TRUE(ms.records().empty());
+}
+
+TEST(MonitorStream, ManyRecordsAcrossManySegments) {
+  tls::SealContext seal(kSecret, 1);
+  util::Bytes stream;
+  for (int i = 0; i < 40; ++i) {
+    const util::Bytes rec = seal.seal(tls::ContentType::kApplicationData,
+                                      util::patterned_bytes(997, static_cast<std::uint32_t>(i)));
+    stream.insert(stream.end(), rec.begin(), rec.end());
+  }
+  MonitorStream ms(net::Direction::kServerToClient);
+  // Deliver in MSS-sized packets.
+  const std::size_t mss = 1'452;
+  std::uint64_t seq = 1;
+  for (std::size_t pos = 0; pos < stream.size(); pos += mss) {
+    const std::size_t n = std::min(mss, stream.size() - pos);
+    ms.on_packet(packet_at(seq, n), util::BytesView(stream.data() + pos, n),
+                 util::TimePoint{static_cast<std::int64_t>(pos)});
+    seq += n;
+  }
+  EXPECT_EQ(ms.records().size(), 40u);
+  for (const auto& rec : ms.records()) {
+    EXPECT_EQ(rec.plaintext_estimate(), 997u);
+  }
+}
+
+}  // namespace
+}  // namespace h2priv::analysis

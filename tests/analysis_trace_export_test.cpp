@@ -1,0 +1,71 @@
+#include "h2priv/analysis/trace_export.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace h2priv::analysis {
+namespace {
+
+TEST(TraceExport, PacketsCsvShape) {
+  std::vector<PacketObservation> packets(2);
+  packets[0].time = util::TimePoint{1'500'000'000};
+  packets[0].dir = net::Direction::kClientToServer;
+  packets[0].wire_size = 100;
+  packets[0].seq = 1;
+  packets[0].ack = 2;
+  packets[0].flags = 0x02;
+  packets[0].payload_len = 52;
+  packets[1].dir = net::Direction::kServerToClient;
+
+  std::ostringstream os;
+  write_packets_csv(os, packets);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("time_s,dir,wire_size,seq,ack,flags,payload_len\n"), std::string::npos);
+  EXPECT_NE(out.find("1.5,c2s,100,1,2,2,52\n"), std::string::npos);
+  EXPECT_NE(out.find(",s2c,"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(TraceExport, RecordsCsvShape) {
+  std::vector<RecordObservation> records(1);
+  records[0].time = util::TimePoint{2'000'000'000};
+  records[0].dir = net::Direction::kServerToClient;
+  records[0].type = tls::ContentType::kApplicationData;
+  records[0].ciphertext_len = 116;
+  records[0].stream_offset = 42;
+
+  std::ostringstream os;
+  write_records_csv(os, records);
+  EXPECT_NE(os.str().find("2,s2c,23,116,100,42\n"), std::string::npos);
+}
+
+TEST(TraceExport, GroundTruthCsvOneRowPerInterval) {
+  GroundTruth truth;
+  const InstanceId id = truth.register_instance(6, 11, false);
+  truth.record_data(id, h2::WireSpan{0, 100});
+  truth.record_data(id, h2::WireSpan{200, 300});
+  truth.mark_complete(id);
+
+  std::ostringstream os;
+  write_ground_truth_csv(os, truth);
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);  // header + 2 intervals
+  EXPECT_NE(out.find("1,6,11,0,1,0,0,100\n"), std::string::npos);
+  EXPECT_NE(out.find("1,6,11,0,1,0,200,300\n"), std::string::npos);
+}
+
+TEST(TraceExport, EmptyInputsProduceHeadersOnly) {
+  std::ostringstream a, b, c;
+  write_packets_csv(a, {});
+  write_records_csv(b, {});
+  write_ground_truth_csv(c, GroundTruth{});
+  const std::string sa = a.str(), sb = b.str(), sc = c.str();
+  EXPECT_EQ(std::count(sa.begin(), sa.end(), '\n'), 1);
+  EXPECT_EQ(std::count(sb.begin(), sb.end(), '\n'), 1);
+  EXPECT_EQ(std::count(sc.begin(), sc.end(), '\n'), 1);
+}
+
+}  // namespace
+}  // namespace h2priv::analysis

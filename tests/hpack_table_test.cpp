@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "h2priv/hpack/dynamic_table.hpp"
+#include "h2priv/hpack/static_table.hpp"
+
+namespace h2priv::hpack {
+namespace {
+
+TEST(StaticTable, WellKnownEntries) {
+  EXPECT_EQ(static_entry(1).name, ":authority");
+  EXPECT_EQ(static_entry(2).name, ":method");
+  EXPECT_EQ(static_entry(2).value, "GET");
+  EXPECT_EQ(static_entry(8).name, ":status");
+  EXPECT_EQ(static_entry(8).value, "200");
+  EXPECT_EQ(static_entry(31).name, "content-type");
+  EXPECT_EQ(static_entry(61).name, "www-authenticate");
+}
+
+TEST(StaticTable, BoundsChecked) {
+  EXPECT_THROW((void)static_entry(0), std::out_of_range);
+  EXPECT_THROW((void)static_entry(62), std::out_of_range);
+}
+
+TEST(StaticTable, FindFullMatch) {
+  EXPECT_EQ(static_find(":method", "GET"), 2u);
+  EXPECT_EQ(static_find(":method", "POST"), 3u);
+  EXPECT_EQ(static_find(":method", "DELETE"), std::nullopt);
+  EXPECT_EQ(static_find("x-custom", "y"), std::nullopt);
+}
+
+TEST(StaticTable, FindNameReturnsFirst) {
+  EXPECT_EQ(static_find_name(":method"), 2u);
+  EXPECT_EQ(static_find_name(":status"), 8u);
+  EXPECT_EQ(static_find_name("cookie"), 32u);
+  EXPECT_EQ(static_find_name("nope"), std::nullopt);
+}
+
+TEST(DynamicTable, InsertAndIndexNewestFirst) {
+  DynamicTable t(4096);
+  t.insert({"a", "1"});
+  t.insert({"b", "2"});
+  EXPECT_EQ(t.at(1).name, "b");
+  EXPECT_EQ(t.at(2).name, "a");
+  EXPECT_EQ(t.entry_count(), 2u);
+}
+
+TEST(DynamicTable, SizeAccounting) {
+  DynamicTable t(4096);
+  t.insert({"abc", "de"});  // 3 + 2 + 32 = 37
+  EXPECT_EQ(t.size(), 37u);
+}
+
+TEST(DynamicTable, EvictsOldestWhenFull) {
+  DynamicTable t(100);  // fits two 37-byte entries plus change
+  t.insert({"aaa", "11"});
+  t.insert({"bbb", "22"});
+  t.insert({"ccc", "33"});  // 111 > 100: evict "aaa"
+  EXPECT_EQ(t.entry_count(), 2u);
+  EXPECT_EQ(t.at(1).name, "ccc");
+  EXPECT_EQ(t.at(2).name, "bbb");
+}
+
+TEST(DynamicTable, OversizeEntryFlushesTable) {
+  DynamicTable t(64);
+  t.insert({"a", "1"});
+  t.insert({"name", std::string(200, 'x')});
+  EXPECT_EQ(t.entry_count(), 0u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(DynamicTable, SetCapacityEvicts) {
+  DynamicTable t(4096);
+  for (int i = 0; i < 10; ++i) t.insert({"k" + std::to_string(i), "v"});
+  t.set_capacity(80);  // room for two entries of 34/35 bytes
+  EXPECT_LE(t.size(), 80u);
+  EXPECT_EQ(t.at(1).name, "k9");
+}
+
+TEST(DynamicTable, FindMatchesNewestFirst) {
+  DynamicTable t(4096);
+  t.insert({"k", "old"});
+  t.insert({"k", "new"});
+  EXPECT_EQ(t.find("k", "new"), 1u);
+  EXPECT_EQ(t.find("k", "old"), 2u);
+  EXPECT_EQ(t.find_name("k"), 1u);
+  EXPECT_EQ(t.find("k", "none"), std::nullopt);
+}
+
+TEST(DynamicTable, IndexBoundsChecked) {
+  DynamicTable t(4096);
+  t.insert({"a", "1"});
+  EXPECT_THROW((void)t.at(0), std::out_of_range);
+  EXPECT_THROW((void)t.at(2), std::out_of_range);
+}
+
+TEST(Header, HpackSizeRule) {
+  EXPECT_EQ((Header{"custom-key", "custom-header"}.hpack_size()), 55u);  // RFC example
+}
+
+}  // namespace
+}  // namespace h2priv::hpack

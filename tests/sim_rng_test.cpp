@@ -1,0 +1,146 @@
+#include "h2priv/sim/rng.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace h2priv::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.uniform_int(-2, 2));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{-2, -1, 0, 1, 2}));
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_EQ(rng.uniform_int(5, 4), 5);  // lo wins on inverted range
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int trials = 50'000;
+  for (int i = 0; i < trials; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  const util::Duration mean = util::milliseconds(10);
+  double acc = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) acc += static_cast<double>(rng.exponential(mean).ns);
+  EXPECT_NEAR(acc / n / 1e6, 10.0, 0.5);
+}
+
+TEST(Rng, ExponentialOfZeroMeanIsZero) {
+  Rng rng(13);
+  EXPECT_EQ(rng.exponential(util::Duration{}).ns, 0);
+}
+
+TEST(Rng, UniformDurationInBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 1'000; ++i) {
+    const auto d = rng.uniform_duration(util::milliseconds(1), util::milliseconds(2));
+    EXPECT_GE(d.ns, util::milliseconds(1).ns);
+    EXPECT_LE(d.ns, util::milliseconds(2).ns);
+  }
+}
+
+TEST(Rng, JitteredRespectsFloorAndStaysNearMean) {
+  Rng rng(19);
+  double acc = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const auto d = rng.jittered(util::milliseconds(10), util::milliseconds(2),
+                                util::milliseconds(9));
+    EXPECT_GE(d.ns, util::milliseconds(9).ns);
+    acc += static_cast<double>(d.ns);
+  }
+  // Mean is pulled slightly above 10ms by the floor, but stays close.
+  EXPECT_NEAR(acc / n / 1e6, 10.3, 0.5);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(29);
+  std::vector<int> v(52);
+  for (int i = 0; i < 52; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto before = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, before);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.fork();
+  // The child's stream must differ from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next() == child.next();
+  EXPECT_LT(equal, 2);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformIntIsRoughlyUniform) {
+  Rng rng(GetParam());
+  std::array<int, 8> buckets{};
+  const int trials = 80'000;
+  for (int i = 0; i < trials; ++i) {
+    ++buckets[static_cast<std::size_t>(rng.uniform_int(0, 7))];
+  }
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, trials / 8, trials / 80);  // within 10%
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep, ::testing::Values(0, 1, 42, 0xdeadbeef, ~0ull));
+
+}  // namespace
+}  // namespace h2priv::sim

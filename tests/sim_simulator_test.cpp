@@ -1,0 +1,134 @@
+#include "h2priv/sim/simulator.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace h2priv::sim {
+namespace {
+
+using util::milliseconds;
+using util::TimePoint;
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(milliseconds(30), [&] { order.push_back(3); });
+  sim.schedule(milliseconds(10), [&] { order.push_back(1); });
+  sim.schedule(milliseconds(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().ns, milliseconds(30).ns);
+}
+
+TEST(Simulator, EqualTimestampsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesDuringEvents) {
+  Simulator sim;
+  TimePoint seen{};
+  sim.schedule(milliseconds(7), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen.ns, milliseconds(7).ns);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(milliseconds(1), [&] {
+    sim.schedule(milliseconds(1), [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ns, milliseconds(2).ns);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule(milliseconds(1), [&] { ++fired; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterRun) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule(milliseconds(1), [&] { ++fired; });
+  sim.run();
+  sim.cancel(id);  // already ran: no effect, no crash
+  sim.cancel(id);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(milliseconds(5), [&] { ++fired; });
+  sim.schedule(milliseconds(15), [&] { ++fired; });
+  sim.run_until(TimePoint{} + milliseconds(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ns, milliseconds(10).ns);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilSkipsCancelledHead) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule(milliseconds(1), [&] { ++fired; });
+  sim.schedule(milliseconds(2), [&] { ++fired; });
+  sim.cancel(id);
+  sim.run_until(TimePoint{} + milliseconds(10));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(milliseconds(1), [&] { ++fired; });
+  sim.schedule(milliseconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RejectsNegativeDelayAndPastTime) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(util::Duration{-1}, [] {}), std::invalid_argument);
+  sim.schedule(milliseconds(1), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint{}, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, EventLimitGuardsRunaway) {
+  Simulator sim;
+  sim.set_event_limit(100);
+  std::function<void()> loop = [&] { sim.schedule(milliseconds(1), loop); };
+  sim.schedule(milliseconds(1), loop);
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Simulator, PendingCountsUncancelledOnly) {
+  Simulator sim;
+  const EventId a = sim.schedule(milliseconds(1), [] {});
+  sim.schedule(milliseconds(2), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.empty());
+}
+
+}  // namespace
+}  // namespace h2priv::sim

@@ -1,0 +1,22 @@
+#include "stack_pair.hpp"
+
+namespace h2priv::testing {
+
+StackPair::StackPair(TcpPairConfig config) : transport(config) {
+  const std::uint64_t secret = config.seed ^ 0x544c53u;  // "TLS"
+  client_tls = std::make_unique<tls::Session>(tls::Role::kClient, secret, *transport.client);
+  server_tls = std::make_unique<tls::Session>(tls::Role::kServer, secret, *transport.server);
+}
+
+bool StackPair::establish(util::Duration budget) {
+  transport.server->listen();
+  transport.client->connect();
+  const util::TimePoint deadline = sim().now() + budget;
+  while (sim().now() < deadline &&
+         (!client_tls->established() || !server_tls->established())) {
+    if (!sim().step()) break;
+  }
+  return client_tls->established() && server_tls->established();
+}
+
+}  // namespace h2priv::testing

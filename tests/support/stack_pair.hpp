@@ -1,0 +1,28 @@
+// Test fixture: TLS sessions layered over a TcpPair — the substrate for
+// HTTP/2 server/browser integration tests without the full middlebox
+// topology (core::run_once covers that).
+#pragma once
+
+#include <memory>
+
+#include "h2priv/tls/session.hpp"
+#include "tcp_pair.hpp"
+
+namespace h2priv::testing {
+
+class StackPair {
+ public:
+  explicit StackPair(TcpPairConfig config = {});
+
+  /// Connects TCP and completes the TLS handshake. Returns true on success.
+  bool establish(util::Duration budget = util::seconds(30));
+
+  TcpPair transport;
+  std::unique_ptr<tls::Session> client_tls;
+  std::unique_ptr<tls::Session> server_tls;
+
+  sim::Simulator& sim() { return transport.sim; }
+  void run_for(util::Duration d) { transport.run_for(d); }
+};
+
+}  // namespace h2priv::testing

@@ -1,0 +1,41 @@
+// Test fixture: two tcp::Connections wired through simulated links with
+// configurable delay/loss, driven by one Simulator.
+#pragma once
+
+#include <memory>
+
+#include "h2priv/net/link.hpp"
+#include "h2priv/sim/rng.hpp"
+#include "h2priv/sim/simulator.hpp"
+#include "h2priv/tcp/connection.hpp"
+
+namespace h2priv::testing {
+
+struct TcpPairConfig {
+  util::Duration delay{util::milliseconds(5)};
+  double loss = 0.0;
+  util::Duration jitter_sigma{};
+  tcp::TcpConfig client_tcp{};
+  tcp::TcpConfig server_tcp{};
+  std::uint64_t seed = 1;
+};
+
+class TcpPair {
+ public:
+  explicit TcpPair(TcpPairConfig config = {});
+
+  /// connect() + listen() and run until both sides are established (or the
+  /// given budget elapses). Returns true on success.
+  bool establish(util::Duration budget = util::seconds(30));
+
+  sim::Simulator sim;
+  std::unique_ptr<tcp::Connection> client;
+  std::unique_ptr<tcp::Connection> server;
+  std::unique_ptr<net::Link> c2s;
+  std::unique_ptr<net::Link> s2c;
+
+  /// Runs the simulator until `deadline` (absolute from t=0).
+  void run_for(util::Duration d) { sim.run_until(sim.now() + d); }
+};
+
+}  // namespace h2priv::testing

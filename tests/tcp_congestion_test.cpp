@@ -1,0 +1,113 @@
+#include "h2priv/tcp/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h2priv::tcp {
+namespace {
+
+constexpr std::uint32_t kMss = 1'000;
+
+CongestionConfig config(std::uint64_t ssthresh = UINT64_MAX) {
+  return CongestionConfig{
+      .mss = kMss, .initial_window_segments = 10, .min_window_segments = 1,
+      .initial_ssthresh = ssthresh};
+}
+
+TEST(Reno, StartsAtInitialWindow) {
+  RenoCongestion cc(config());
+  EXPECT_EQ(cc.cwnd(), 10'000u);
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(Reno, SlowStartGrowsByAckedBytes) {
+  RenoCongestion cc(config());
+  cc.on_ack(kMss);
+  EXPECT_EQ(cc.cwnd(), 11'000u);
+  cc.on_ack(400);  // partial segment
+  EXPECT_EQ(cc.cwnd(), 11'400u);
+}
+
+TEST(Reno, SlowStartGrowthCappedAtOneMssPerAck) {
+  RenoCongestion cc(config());
+  cc.on_ack(10 * kMss);  // one jumbo cumulative ACK
+  EXPECT_EQ(cc.cwnd(), 11'000u);
+}
+
+TEST(Reno, CongestionAvoidanceAddsOneMssPerWindow) {
+  RenoCongestion cc(config(/*ssthresh=*/10'000));
+  EXPECT_FALSE(cc.in_slow_start());
+  // Ack a full window: +1 MSS.
+  for (int i = 0; i < 10; ++i) cc.on_ack(kMss);
+  EXPECT_EQ(cc.cwnd(), 11'000u);
+  // The next window is larger, so it takes 11 acks for the next increment.
+  for (int i = 0; i < 10; ++i) cc.on_ack(kMss);
+  EXPECT_EQ(cc.cwnd(), 11'000u);
+  cc.on_ack(kMss);
+  EXPECT_EQ(cc.cwnd(), 12'000u);
+}
+
+TEST(Reno, FastRetransmitHalvesWindow) {
+  RenoCongestion cc(config());
+  cc.on_ack(10 * kMss);  // cwnd 11000
+  cc.on_fast_retransmit();
+  EXPECT_EQ(cc.ssthresh(), 5'500u);
+  EXPECT_EQ(cc.cwnd(), 5'500u);
+  EXPECT_TRUE(cc.in_recovery());
+}
+
+TEST(Reno, FastRetransmitRespectsFloor) {
+  RenoCongestion cc(config());
+  cc.on_timeout();  // cwnd -> 1 MSS
+  cc.on_fast_retransmit();
+  EXPECT_EQ(cc.cwnd(), 2'000u) << "floor is 2 segments";
+}
+
+TEST(Reno, AcksDuringRecoveryDontGrowWindow) {
+  RenoCongestion cc(config());
+  cc.on_fast_retransmit();
+  const std::uint64_t before = cc.cwnd();
+  cc.on_ack(kMss);
+  EXPECT_EQ(cc.cwnd(), before);
+}
+
+TEST(Reno, RecoveryExitResumesGrowth) {
+  RenoCongestion cc(config());
+  cc.on_fast_retransmit();
+  cc.on_recovery_exit();
+  EXPECT_FALSE(cc.in_recovery());
+  const std::uint64_t before = cc.cwnd();
+  // Now in congestion avoidance (cwnd == ssthresh): byte counting applies.
+  for (std::uint64_t acked = 0; acked < before; acked += kMss) cc.on_ack(kMss);
+  EXPECT_EQ(cc.cwnd(), before + kMss);
+}
+
+TEST(Reno, TimeoutCollapsesToOneSegment) {
+  RenoCongestion cc(config());
+  cc.on_ack(10 * kMss);
+  cc.on_timeout();
+  EXPECT_EQ(cc.cwnd(), 1'000u);
+  EXPECT_EQ(cc.ssthresh(), 5'500u);
+  EXPECT_TRUE(cc.in_slow_start());
+  EXPECT_FALSE(cc.in_recovery());
+}
+
+TEST(Reno, SlowStartUpToSsthreshThenLinear) {
+  RenoCongestion cc(config(/*ssthresh=*/20'000));
+  // Slow start until cwnd reaches 20000.
+  while (cc.in_slow_start()) cc.on_ack(kMss);
+  EXPECT_EQ(cc.cwnd(), 20'000u);
+  // One full window in CA -> exactly one MSS of growth.
+  for (int i = 0; i < 20; ++i) cc.on_ack(kMss);
+  EXPECT_EQ(cc.cwnd(), 21'000u);
+}
+
+TEST(Reno, DupAcksAloneDontChangeWindow) {
+  RenoCongestion cc(config());
+  const std::uint64_t before = cc.cwnd();
+  cc.on_dup_ack();
+  cc.on_dup_ack();
+  EXPECT_EQ(cc.cwnd(), before);
+}
+
+}  // namespace
+}  // namespace h2priv::tcp

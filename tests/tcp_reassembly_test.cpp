@@ -1,0 +1,137 @@
+#include "h2priv/tcp/reassembly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "h2priv/sim/rng.hpp"
+
+namespace h2priv::tcp {
+namespace {
+
+util::Bytes slice(const util::Bytes& all, std::size_t from, std::size_t len) {
+  return util::Bytes(all.begin() + static_cast<std::ptrdiff_t>(from),
+                     all.begin() + static_cast<std::ptrdiff_t>(from + len));
+}
+
+TEST(Reassembly, InOrderDeliversImmediately) {
+  Reassembly r(0);
+  const util::Bytes out = r.offer(0, util::to_bytes("hello"));
+  EXPECT_EQ(out, util::to_bytes("hello"));
+  EXPECT_EQ(r.rcv_nxt(), 5u);
+  EXPECT_FALSE(r.has_gaps());
+}
+
+TEST(Reassembly, OutOfOrderBuffersUntilGapFills) {
+  Reassembly r(0);
+  EXPECT_TRUE(r.offer(5, util::to_bytes("world")).empty());
+  EXPECT_TRUE(r.has_gaps());
+  EXPECT_EQ(r.buffered_bytes(), 5u);
+  const util::Bytes out = r.offer(0, util::to_bytes("hello"));
+  EXPECT_EQ(out, util::to_bytes("helloworld"));
+  EXPECT_EQ(r.rcv_nxt(), 10u);
+  EXPECT_EQ(r.buffered_bytes(), 0u);
+}
+
+TEST(Reassembly, DuplicateSegmentsAreAbsorbed) {
+  Reassembly r(0);
+  (void)r.offer(0, util::to_bytes("abc"));
+  EXPECT_TRUE(r.offer(0, util::to_bytes("abc")).empty());
+  EXPECT_EQ(r.rcv_nxt(), 3u);
+}
+
+TEST(Reassembly, PartiallyOldSegmentDeliversOnlyNewTail) {
+  Reassembly r(0);
+  (void)r.offer(0, util::to_bytes("abc"));
+  const util::Bytes out = r.offer(1, util::to_bytes("bcde"));
+  EXPECT_EQ(out, util::to_bytes("de"));
+  EXPECT_EQ(r.rcv_nxt(), 5u);
+}
+
+TEST(Reassembly, OverlapWithBufferedSegmentTrimsBothSides) {
+  Reassembly r(0);
+  EXPECT_TRUE(r.offer(4, util::to_bytes("efgh")).empty());
+  // Overlaps buffered [4,8) on its left edge and extends right.
+  EXPECT_TRUE(r.offer(6, util::to_bytes("ghij")).empty());
+  const util::Bytes out = r.offer(0, util::to_bytes("abcd"));
+  EXPECT_EQ(out, util::to_bytes("abcdefghij"));
+}
+
+TEST(Reassembly, SegmentBridgingTwoBufferedPieces) {
+  Reassembly r(0);
+  EXPECT_TRUE(r.offer(2, util::to_bytes("cd")).empty());
+  EXPECT_TRUE(r.offer(6, util::to_bytes("gh")).empty());
+  // Bridges both: covers [2,8).
+  EXPECT_TRUE(r.offer(2, util::to_bytes("cdefgh")).empty());
+  const util::Bytes out = r.offer(0, util::to_bytes("ab"));
+  EXPECT_EQ(out, util::to_bytes("abcdefgh"));
+}
+
+TEST(Reassembly, FullyCoveredSegmentIsDropped) {
+  Reassembly r(0);
+  EXPECT_TRUE(r.offer(2, util::to_bytes("cdef")).empty());
+  EXPECT_TRUE(r.offer(3, util::to_bytes("de")).empty());
+  EXPECT_EQ(r.buffered_bytes(), 4u);
+}
+
+TEST(Reassembly, NonZeroInitialSequence) {
+  Reassembly r(1'000);
+  EXPECT_TRUE(r.offer(500, util::to_bytes("old")).empty()) << "below rcv_nxt: ignored";
+  const util::Bytes out = r.offer(1'000, util::to_bytes("xy"));
+  EXPECT_EQ(out, util::to_bytes("xy"));
+  EXPECT_EQ(r.rcv_nxt(), 1'002u);
+}
+
+TEST(Reassembly, EmptyOfferIsHarmless) {
+  Reassembly r(0);
+  EXPECT_TRUE(r.offer(0, util::BytesView{}).empty());
+  EXPECT_EQ(r.rcv_nxt(), 0u);
+}
+
+// Property: any segmentation of a buffer, delivered in any order with
+// duplicates, reassembles to exactly the original bytes.
+class ReassemblyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReassemblyProperty, RandomSegmentationReassemblesExactly) {
+  sim::Rng rng(GetParam());
+  const std::size_t total = 10'000;
+  const util::Bytes data = util::patterned_bytes(total, 77);
+
+  // Build random, possibly overlapping segments covering the buffer.
+  struct Piece {
+    std::size_t from;
+    std::size_t len;
+  };
+  std::vector<Piece> pieces;
+  std::size_t covered = 0;
+  while (covered < total) {
+    const std::size_t len =
+        static_cast<std::size_t>(rng.uniform_int(1, 700));
+    pieces.push_back({covered, std::min(len, total - covered)});
+    covered += pieces.back().len;
+  }
+  // Duplicates and overlapping extras.
+  const std::size_t base_count = pieces.size();
+  for (std::size_t i = 0; i < base_count / 2; ++i) {
+    const auto& p = pieces[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(base_count) - 1))];
+    pieces.push_back(p);
+    const std::size_t from = p.from / 2;
+    pieces.push_back({from, std::min<std::size_t>(p.len + 13, total - from)});
+  }
+  rng.shuffle(pieces);
+
+  Reassembly r(0);
+  util::Bytes out;
+  for (const Piece& p : pieces) {
+    const util::Bytes delivered = r.offer(p.from, slice(data, p.from, p.len));
+    out.insert(out.end(), delivered.begin(), delivered.end());
+  }
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(r.rcv_nxt(), total);
+  EXPECT_FALSE(r.has_gaps());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReassemblyProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace h2priv::tcp

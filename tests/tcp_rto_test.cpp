@@ -1,0 +1,79 @@
+#include "h2priv/tcp/rto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h2priv::tcp {
+namespace {
+
+using util::milliseconds;
+using util::seconds;
+
+TEST(Rto, InitialValueBeforeSamples) {
+  RtoEstimator rto;
+  EXPECT_FALSE(rto.has_sample());
+  EXPECT_EQ(rto.rto().ns, seconds(1).ns);
+}
+
+TEST(Rto, FirstSampleSetsSrttAndVar) {
+  RtoEstimator rto;
+  rto.sample(milliseconds(100));
+  EXPECT_TRUE(rto.has_sample());
+  EXPECT_EQ(rto.srtt().ns, milliseconds(100).ns);
+  EXPECT_EQ(rto.rttvar().ns, milliseconds(50).ns);
+  // rto = srtt + 4*rttvar = 300 ms
+  EXPECT_EQ(rto.rto().ns, milliseconds(300).ns);
+}
+
+TEST(Rto, SmoothingFollowsRfc6298) {
+  RtoEstimator rto;
+  rto.sample(milliseconds(100));
+  rto.sample(milliseconds(100));
+  // err = 0: rttvar = 3/4*50 = 37.5ms; srtt stays 100.
+  EXPECT_EQ(rto.srtt().ns, milliseconds(100).ns);
+  EXPECT_EQ(rto.rttvar().ns, 37'500'000);
+}
+
+TEST(Rto, ConvergesTowardStableRtt) {
+  RtoConfig cfg;
+  cfg.min = milliseconds(40);  // the default 200 ms floor would mask convergence
+  RtoEstimator rto(cfg);
+  for (int i = 0; i < 100; ++i) rto.sample(milliseconds(80));
+  EXPECT_NEAR(static_cast<double>(rto.srtt().ns), 80e6, 1e6);
+  // rttvar decays; rto approaches srtt + minimum variance term.
+  EXPECT_LT(rto.rto().ns, milliseconds(130).ns);
+  EXPECT_GE(rto.rto().ns, milliseconds(80).ns);
+}
+
+TEST(Rto, BackoffDoubles) {
+  RtoEstimator rto;
+  rto.sample(milliseconds(100));  // rto 300ms
+  rto.backoff();
+  EXPECT_EQ(rto.rto().ns, milliseconds(600).ns);
+  rto.backoff();
+  EXPECT_EQ(rto.rto().ns, milliseconds(1'200).ns);
+  rto.clear_backoff();
+  EXPECT_EQ(rto.rto().ns, milliseconds(300).ns);
+}
+
+TEST(Rto, ClampsToMinAndMax) {
+  RtoConfig cfg;
+  cfg.min = milliseconds(200);
+  cfg.max = seconds(4);
+  RtoEstimator rto(cfg);
+  rto.sample(milliseconds(1));  // tiny RTT -> clamped up
+  EXPECT_EQ(rto.rto().ns, milliseconds(200).ns);
+  for (int i = 0; i < 12; ++i) rto.backoff();
+  EXPECT_EQ(rto.rto().ns, seconds(4).ns);
+}
+
+TEST(Rto, VarianceReactsToJitter) {
+  RtoEstimator rto;
+  rto.sample(milliseconds(100));
+  rto.sample(milliseconds(200));
+  rto.sample(milliseconds(50));
+  EXPECT_GT(rto.rttvar().ns, milliseconds(30).ns);
+  EXPECT_GT(rto.rto().ns, rto.srtt().ns);
+}
+
+}  // namespace
+}  // namespace h2priv::tcp

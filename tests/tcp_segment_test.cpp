@@ -1,0 +1,101 @@
+#include "h2priv/tcp/segment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h2priv::tcp {
+namespace {
+
+TEST(Segment, RoundTripsAllFields) {
+  Segment s;
+  s.src_port = 49'152;
+  s.dst_port = 443;
+  s.seq = 0x1122334455667788ull;
+  s.ack = 0x99aabbccddeeff00ull;
+  s.flags = kFlagAck | kFlagFin;
+  s.window = 262'144;
+  s.payload = util::patterned_bytes(777, 4);
+
+  const Segment d = Segment::decode(s.encode());
+  EXPECT_EQ(d.src_port, s.src_port);
+  EXPECT_EQ(d.dst_port, s.dst_port);
+  EXPECT_EQ(d.seq, s.seq);
+  EXPECT_EQ(d.ack, s.ack);
+  EXPECT_EQ(d.flags, s.flags);
+  EXPECT_EQ(d.window, s.window);
+  EXPECT_EQ(d.payload, s.payload);
+}
+
+TEST(Segment, EncodedSizeIsHeaderPlusPayload) {
+  Segment s;
+  s.payload = util::patterned_bytes(100, 1);
+  EXPECT_EQ(s.encode().size(), kHeaderBytes + 100);
+}
+
+TEST(Segment, FlagAccessors) {
+  Segment s;
+  s.flags = kFlagSyn | kFlagAck;
+  EXPECT_TRUE(s.syn());
+  EXPECT_TRUE(s.has_ack());
+  EXPECT_FALSE(s.fin());
+  EXPECT_FALSE(s.rst());
+}
+
+TEST(Segment, SeqLenCountsSynFinAndPayload) {
+  Segment s;
+  EXPECT_EQ(s.seq_len(), 0u);
+  s.flags = kFlagSyn;
+  EXPECT_EQ(s.seq_len(), 1u);
+  s.flags = kFlagSyn | kFlagFin;
+  s.payload = util::patterned_bytes(10, 1);
+  EXPECT_EQ(s.seq_len(), 12u);
+}
+
+TEST(Segment, DecodeRejectsLengthMismatch) {
+  Segment s;
+  s.payload = util::patterned_bytes(10, 1);
+  util::Bytes wire = s.encode();
+  wire.push_back(0x00);  // trailing garbage
+  EXPECT_THROW((void)Segment::decode(wire), std::invalid_argument);
+  wire.resize(wire.size() - 3);  // truncated payload
+  EXPECT_THROW((void)Segment::decode(wire), std::invalid_argument);
+}
+
+TEST(Segment, DecodeRejectsShortHeader) {
+  const util::Bytes wire = util::patterned_bytes(10, 1);
+  EXPECT_THROW((void)Segment::decode(wire), util::OutOfBounds);
+}
+
+TEST(Peek, ReadsHeaderWithoutCopy) {
+  Segment s;
+  s.src_port = 1;
+  s.dst_port = 2;
+  s.seq = 42;
+  s.ack = 43;
+  s.flags = kFlagAck;
+  s.window = 99;
+  s.payload = util::patterned_bytes(64, 2);
+  const util::Bytes wire = s.encode();
+  const SegmentView v = peek(wire);
+  EXPECT_EQ(v.seq, 42u);
+  EXPECT_EQ(v.ack, 43u);
+  EXPECT_EQ(v.flags, kFlagAck);
+  EXPECT_EQ(v.window, 99u);
+  EXPECT_EQ(v.payload.size(), 64u);
+  EXPECT_EQ(v.payload.data(), wire.data() + kHeaderBytes) << "view must alias the wire";
+}
+
+class SegmentPayloadSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SegmentPayloadSweep, RoundTrip) {
+  Segment s;
+  s.seq = GetParam();
+  s.payload = util::patterned_bytes(GetParam(), 9);
+  const Segment d = Segment::decode(s.encode());
+  EXPECT_EQ(d.payload, s.payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SegmentPayloadSweep,
+                         ::testing::Values(0, 1, 536, 1452, 9000, 65'000));
+
+}  // namespace
+}  // namespace h2priv::tcp

@@ -1,0 +1,84 @@
+#include "h2priv/tcp/send_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h2priv::tcp {
+namespace {
+
+TEST(SendBuffer, AppendReturnsStreamOffsets) {
+  SendBuffer buf;
+  EXPECT_EQ(buf.append(util::patterned_bytes(10, 1)), 0u);
+  EXPECT_EQ(buf.append(util::patterned_bytes(5, 2)), 10u);
+  EXPECT_EQ(buf.end(), 15u);
+  EXPECT_EQ(buf.outstanding(), 15u);
+}
+
+TEST(SendBuffer, ReadReturnsCorrectSlices) {
+  SendBuffer buf;
+  const util::Bytes a = util::patterned_bytes(100, 7);
+  buf.append(a);
+  const util::Bytes mid = buf.read(10, 20);
+  ASSERT_EQ(mid.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(mid[static_cast<std::size_t>(i)], a[static_cast<std::size_t>(i) + 10]);
+  }
+}
+
+TEST(SendBuffer, ReadClampsAtEnd) {
+  SendBuffer buf;
+  buf.append(util::patterned_bytes(10, 1));
+  EXPECT_EQ(buf.read(8, 100).size(), 2u);
+  EXPECT_EQ(buf.read(10, 100).size(), 0u);
+}
+
+TEST(SendBuffer, AckReleasesPrefix) {
+  SendBuffer buf;
+  buf.append(util::patterned_bytes(100, 3));
+  buf.ack(40);
+  EXPECT_EQ(buf.acked(), 40u);
+  EXPECT_EQ(buf.outstanding(), 60u);
+  // Data above the ack point still readable and correct.
+  const util::Bytes a = util::patterned_bytes(100, 3);
+  const util::Bytes tail = buf.read(40, 60);
+  EXPECT_TRUE(std::equal(tail.begin(), tail.end(), a.begin() + 40));
+}
+
+TEST(SendBuffer, ReadBelowAckedThrows) {
+  SendBuffer buf;
+  buf.append(util::patterned_bytes(100, 3));
+  buf.ack(50);
+  EXPECT_THROW((void)buf.read(49, 1), std::out_of_range);
+  EXPECT_NO_THROW((void)buf.read(50, 1));
+}
+
+TEST(SendBuffer, AckBeyondEndThrows) {
+  SendBuffer buf;
+  buf.append(util::patterned_bytes(10, 3));
+  EXPECT_THROW(buf.ack(11), std::out_of_range);
+}
+
+TEST(SendBuffer, DuplicateAckIsIgnored) {
+  SendBuffer buf;
+  buf.append(util::patterned_bytes(10, 3));
+  buf.ack(5);
+  buf.ack(5);
+  buf.ack(3);  // old ack: no-op
+  EXPECT_EQ(buf.acked(), 5u);
+}
+
+TEST(SendBuffer, OffsetsSurviveManyAckCycles) {
+  SendBuffer buf;
+  std::uint64_t offset = 0;
+  for (int round = 0; round < 50; ++round) {
+    const util::Bytes chunk = util::patterned_bytes(1'000, static_cast<std::uint32_t>(round));
+    EXPECT_EQ(buf.append(chunk), offset);
+    const util::Bytes back = buf.read(offset, 1'000);
+    EXPECT_EQ(back, chunk);
+    offset += 1'000;
+    buf.ack(offset);
+    EXPECT_EQ(buf.outstanding(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace h2priv::tcp

@@ -1,0 +1,37 @@
+#include "h2priv/util/narrow.hpp"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace h2priv::util {
+namespace {
+
+TEST(Narrow, PassesValuesInRange) {
+  EXPECT_EQ(narrow<std::uint8_t>(255), 255);
+  EXPECT_EQ(narrow<std::int8_t>(-128), -128);
+  EXPECT_EQ(narrow<std::uint16_t>(65'535), 65'535);
+}
+
+TEST(Narrow, ThrowsOnOverflow) {
+  EXPECT_THROW((void)narrow<std::uint8_t>(256), NarrowingError);
+  EXPECT_THROW((void)narrow<std::int8_t>(128), NarrowingError);
+  EXPECT_THROW((void)narrow<std::uint16_t>(1 << 16), NarrowingError);
+}
+
+TEST(Narrow, ThrowsOnSignFlip) {
+  EXPECT_THROW((void)narrow<std::uint32_t>(-1), NarrowingError);
+  EXPECT_THROW((void)narrow<std::uint64_t>(std::int64_t{-5}), NarrowingError);
+}
+
+TEST(Narrow, WideningAlwaysOk) {
+  EXPECT_EQ(narrow<std::int64_t>(std::int32_t{-42}), -42);
+  EXPECT_EQ(narrow<std::uint64_t>(std::uint8_t{7}), 7u);
+}
+
+TEST(NarrowCast, IsUnchecked) {
+  EXPECT_EQ(narrow_cast<std::uint8_t>(257), 1);
+}
+
+}  // namespace
+}  // namespace h2priv::util

@@ -1,0 +1,62 @@
+#include "h2priv/util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h2priv::util {
+namespace {
+
+TEST(Duration, FactoryFunctions) {
+  EXPECT_EQ(nanoseconds(5).ns, 5);
+  EXPECT_EQ(microseconds(5).ns, 5'000);
+  EXPECT_EQ(milliseconds(5).ns, 5'000'000);
+  EXPECT_EQ(seconds(5).ns, 5'000'000'000);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = milliseconds(3);
+  const Duration b = milliseconds(2);
+  EXPECT_EQ((a + b).ns, milliseconds(5).ns);
+  EXPECT_EQ((a - b).ns, milliseconds(1).ns);
+  EXPECT_EQ((a * 4).ns, milliseconds(12).ns);
+  EXPECT_EQ((a / 3).ns, milliseconds(1).ns);
+  EXPECT_LT(b, a);
+}
+
+TEST(Duration, ConversionHelpers) {
+  EXPECT_DOUBLE_EQ(seconds(2).seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(milliseconds(1500).millis(), 1500.0);
+}
+
+TEST(TimePoint, DurationInterplay) {
+  TimePoint t{1'000};
+  const TimePoint later = t + microseconds(1);
+  EXPECT_EQ(later.ns, 2'000);
+  EXPECT_EQ((later - t).ns, 1'000);
+  EXPECT_GT(later, t);
+}
+
+TEST(BitRate, TransmissionTime) {
+  // 1500 bytes at 1 Gbps = 12 microseconds.
+  EXPECT_EQ(gigabits_per_second(1).transmission_time(1500).ns, 12'000);
+  // 1000 bytes at 1 Mbps = 8 ms.
+  EXPECT_EQ(megabits_per_second(1).transmission_time(1000).ns, 8'000'000);
+}
+
+TEST(BitRate, TransmissionTimeRoundsUp) {
+  // 1 byte at 3 bps = 8/3 s, must round up to whole ns.
+  const auto t = bits_per_second(3).transmission_time(1);
+  EXPECT_EQ(t.ns, 2'666'666'667);
+}
+
+TEST(BitRate, ZeroRateIsInstant) {
+  EXPECT_EQ(BitRate{0}.transmission_time(1'000'000).ns, 0);
+}
+
+TEST(BitRate, Factories) {
+  EXPECT_EQ(kilobits_per_second(2).bits_per_sec, 2'000);
+  EXPECT_EQ(megabits_per_second(2).bits_per_sec, 2'000'000);
+  EXPECT_EQ(gigabits_per_second(2).bits_per_sec, 2'000'000'000);
+}
+
+}  // namespace
+}  // namespace h2priv::util
