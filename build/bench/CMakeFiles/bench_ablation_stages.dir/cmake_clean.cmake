@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stages.dir/bench_ablation_stages.cpp.o"
+  "CMakeFiles/bench_ablation_stages.dir/bench_ablation_stages.cpp.o.d"
+  "bench_ablation_stages"
+  "bench_ablation_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fingerprinting.dir/bench_ext_fingerprinting.cpp.o"
+  "CMakeFiles/bench_ext_fingerprinting.dir/bench_ext_fingerprinting.cpp.o.d"
+  "bench_ext_fingerprinting"
+  "bench_ext_fingerprinting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fingerprinting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_interleaving.dir/bench_fig3_interleaving.cpp.o"
+  "CMakeFiles/bench_fig3_interleaving.dir/bench_fig3_interleaving.cpp.o.d"
+  "bench_fig3_interleaving"
+  "bench_fig3_interleaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_interleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

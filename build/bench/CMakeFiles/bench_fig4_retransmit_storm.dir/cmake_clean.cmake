@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_retransmit_storm.dir/bench_fig4_retransmit_storm.cpp.o"
+  "CMakeFiles/bench_fig4_retransmit_storm.dir/bench_fig4_retransmit_storm.cpp.o.d"
+  "bench_fig4_retransmit_storm"
+  "bench_fig4_retransmit_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_retransmit_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_stream_reset.dir/bench_fig6_stream_reset.cpp.o"
+  "CMakeFiles/bench_fig6_stream_reset.dir/bench_fig6_stream_reset.cpp.o.d"
+  "bench_fig6_stream_reset"
+  "bench_fig6_stream_reset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_stream_reset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

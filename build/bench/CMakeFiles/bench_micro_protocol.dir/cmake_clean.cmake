@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_protocol.dir/bench_micro_protocol.cpp.o"
+  "CMakeFiles/bench_micro_protocol.dir/bench_micro_protocol.cpp.o.d"
+  "bench_micro_protocol"
+  "bench_micro_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_attack.cpp" "bench/CMakeFiles/bench_table2_attack.dir/bench_table2_attack.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_attack.dir/bench_table2_attack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/h2priv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/h2priv_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/h2priv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/h2priv_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/h2priv_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/h2priv_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/h2priv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/h2/CMakeFiles/h2priv_h2.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpack/CMakeFiles/h2priv_hpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/h2priv_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/h2priv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/h2priv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_debug.dir/attack_debug.cpp.o"
+  "CMakeFiles/attack_debug.dir/attack_debug.cpp.o.d"
+  "attack_debug"
+  "attack_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_eval.dir/defense_eval.cpp.o"
+  "CMakeFiles/defense_eval.dir/defense_eval.cpp.o.d"
+  "defense_eval"
+  "defense_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isidewith_attack.dir/isidewith_attack.cpp.o"
+  "CMakeFiles/isidewith_attack.dir/isidewith_attack.cpp.o.d"
+  "isidewith_attack"
+  "isidewith_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isidewith_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_lab.dir/network_lab.cpp.o"
+  "CMakeFiles/network_lab.dir/network_lab.cpp.o.d"
+  "network_lab"
+  "network_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

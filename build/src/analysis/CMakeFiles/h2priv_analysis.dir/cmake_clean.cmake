@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2priv_analysis.dir/estimator.cpp.o"
+  "CMakeFiles/h2priv_analysis.dir/estimator.cpp.o.d"
+  "CMakeFiles/h2priv_analysis.dir/fingerprint.cpp.o"
+  "CMakeFiles/h2priv_analysis.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/h2priv_analysis.dir/ground_truth.cpp.o"
+  "CMakeFiles/h2priv_analysis.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/h2priv_analysis.dir/monitor_stream.cpp.o"
+  "CMakeFiles/h2priv_analysis.dir/monitor_stream.cpp.o.d"
+  "CMakeFiles/h2priv_analysis.dir/timeline.cpp.o"
+  "CMakeFiles/h2priv_analysis.dir/timeline.cpp.o.d"
+  "CMakeFiles/h2priv_analysis.dir/trace_export.cpp.o"
+  "CMakeFiles/h2priv_analysis.dir/trace_export.cpp.o.d"
+  "libh2priv_analysis.a"
+  "libh2priv_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2priv_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2priv_client.dir/browser.cpp.o"
+  "CMakeFiles/h2priv_client.dir/browser.cpp.o.d"
+  "libh2priv_client.a"
+  "libh2priv_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2priv_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

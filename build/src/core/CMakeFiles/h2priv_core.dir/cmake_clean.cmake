@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2priv_core.dir/attack.cpp.o"
+  "CMakeFiles/h2priv_core.dir/attack.cpp.o.d"
+  "CMakeFiles/h2priv_core.dir/controller.cpp.o"
+  "CMakeFiles/h2priv_core.dir/controller.cpp.o.d"
+  "CMakeFiles/h2priv_core.dir/experiment.cpp.o"
+  "CMakeFiles/h2priv_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/h2priv_core.dir/monitor.cpp.o"
+  "CMakeFiles/h2priv_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/h2priv_core.dir/partial_matcher.cpp.o"
+  "CMakeFiles/h2priv_core.dir/partial_matcher.cpp.o.d"
+  "CMakeFiles/h2priv_core.dir/predictor.cpp.o"
+  "CMakeFiles/h2priv_core.dir/predictor.cpp.o.d"
+  "libh2priv_core.a"
+  "libh2priv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2priv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

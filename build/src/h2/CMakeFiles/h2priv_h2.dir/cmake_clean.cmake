@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2priv_h2.dir/connection.cpp.o"
+  "CMakeFiles/h2priv_h2.dir/connection.cpp.o.d"
+  "CMakeFiles/h2priv_h2.dir/frame.cpp.o"
+  "CMakeFiles/h2priv_h2.dir/frame.cpp.o.d"
+  "CMakeFiles/h2priv_h2.dir/stream.cpp.o"
+  "CMakeFiles/h2priv_h2.dir/stream.cpp.o.d"
+  "libh2priv_h2.a"
+  "libh2priv_h2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2priv_h2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

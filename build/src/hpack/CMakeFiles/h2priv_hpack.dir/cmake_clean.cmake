@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2priv_hpack.dir/codec.cpp.o"
+  "CMakeFiles/h2priv_hpack.dir/codec.cpp.o.d"
+  "CMakeFiles/h2priv_hpack.dir/dynamic_table.cpp.o"
+  "CMakeFiles/h2priv_hpack.dir/dynamic_table.cpp.o.d"
+  "CMakeFiles/h2priv_hpack.dir/huffman.cpp.o"
+  "CMakeFiles/h2priv_hpack.dir/huffman.cpp.o.d"
+  "CMakeFiles/h2priv_hpack.dir/integer.cpp.o"
+  "CMakeFiles/h2priv_hpack.dir/integer.cpp.o.d"
+  "CMakeFiles/h2priv_hpack.dir/static_table.cpp.o"
+  "CMakeFiles/h2priv_hpack.dir/static_table.cpp.o.d"
+  "libh2priv_hpack.a"
+  "libh2priv_hpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2priv_hpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2priv_net.dir/link.cpp.o"
+  "CMakeFiles/h2priv_net.dir/link.cpp.o.d"
+  "CMakeFiles/h2priv_net.dir/middlebox.cpp.o"
+  "CMakeFiles/h2priv_net.dir/middlebox.cpp.o.d"
+  "libh2priv_net.a"
+  "libh2priv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2priv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

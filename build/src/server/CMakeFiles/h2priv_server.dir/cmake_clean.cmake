@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2priv_server.dir/h2_server.cpp.o"
+  "CMakeFiles/h2priv_server.dir/h2_server.cpp.o.d"
+  "libh2priv_server.a"
+  "libh2priv_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2priv_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

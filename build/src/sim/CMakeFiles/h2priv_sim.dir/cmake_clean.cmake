@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2priv_sim.dir/rng.cpp.o"
+  "CMakeFiles/h2priv_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/h2priv_sim.dir/simulator.cpp.o"
+  "CMakeFiles/h2priv_sim.dir/simulator.cpp.o.d"
+  "libh2priv_sim.a"
+  "libh2priv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2priv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

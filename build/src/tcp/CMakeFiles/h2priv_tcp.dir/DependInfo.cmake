@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/congestion.cpp" "src/tcp/CMakeFiles/h2priv_tcp.dir/congestion.cpp.o" "gcc" "src/tcp/CMakeFiles/h2priv_tcp.dir/congestion.cpp.o.d"
+  "/root/repo/src/tcp/connection.cpp" "src/tcp/CMakeFiles/h2priv_tcp.dir/connection.cpp.o" "gcc" "src/tcp/CMakeFiles/h2priv_tcp.dir/connection.cpp.o.d"
+  "/root/repo/src/tcp/reassembly.cpp" "src/tcp/CMakeFiles/h2priv_tcp.dir/reassembly.cpp.o" "gcc" "src/tcp/CMakeFiles/h2priv_tcp.dir/reassembly.cpp.o.d"
+  "/root/repo/src/tcp/rto.cpp" "src/tcp/CMakeFiles/h2priv_tcp.dir/rto.cpp.o" "gcc" "src/tcp/CMakeFiles/h2priv_tcp.dir/rto.cpp.o.d"
+  "/root/repo/src/tcp/segment.cpp" "src/tcp/CMakeFiles/h2priv_tcp.dir/segment.cpp.o" "gcc" "src/tcp/CMakeFiles/h2priv_tcp.dir/segment.cpp.o.d"
+  "/root/repo/src/tcp/send_buffer.cpp" "src/tcp/CMakeFiles/h2priv_tcp.dir/send_buffer.cpp.o" "gcc" "src/tcp/CMakeFiles/h2priv_tcp.dir/send_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/h2priv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/h2priv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/h2priv_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

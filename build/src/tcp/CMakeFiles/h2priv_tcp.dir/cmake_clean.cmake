@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2priv_tcp.dir/congestion.cpp.o"
+  "CMakeFiles/h2priv_tcp.dir/congestion.cpp.o.d"
+  "CMakeFiles/h2priv_tcp.dir/connection.cpp.o"
+  "CMakeFiles/h2priv_tcp.dir/connection.cpp.o.d"
+  "CMakeFiles/h2priv_tcp.dir/reassembly.cpp.o"
+  "CMakeFiles/h2priv_tcp.dir/reassembly.cpp.o.d"
+  "CMakeFiles/h2priv_tcp.dir/rto.cpp.o"
+  "CMakeFiles/h2priv_tcp.dir/rto.cpp.o.d"
+  "CMakeFiles/h2priv_tcp.dir/segment.cpp.o"
+  "CMakeFiles/h2priv_tcp.dir/segment.cpp.o.d"
+  "CMakeFiles/h2priv_tcp.dir/send_buffer.cpp.o"
+  "CMakeFiles/h2priv_tcp.dir/send_buffer.cpp.o.d"
+  "libh2priv_tcp.a"
+  "libh2priv_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2priv_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2priv_tls.dir/record.cpp.o"
+  "CMakeFiles/h2priv_tls.dir/record.cpp.o.d"
+  "CMakeFiles/h2priv_tls.dir/session.cpp.o"
+  "CMakeFiles/h2priv_tls.dir/session.cpp.o.d"
+  "libh2priv_tls.a"
+  "libh2priv_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2priv_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

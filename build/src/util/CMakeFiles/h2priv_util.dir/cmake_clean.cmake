@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2priv_util.dir/bytes.cpp.o"
+  "CMakeFiles/h2priv_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/h2priv_util.dir/hex.cpp.o"
+  "CMakeFiles/h2priv_util.dir/hex.cpp.o.d"
+  "libh2priv_util.a"
+  "libh2priv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2priv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

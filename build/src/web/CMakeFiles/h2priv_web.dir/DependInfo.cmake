@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/isidewith.cpp" "src/web/CMakeFiles/h2priv_web.dir/isidewith.cpp.o" "gcc" "src/web/CMakeFiles/h2priv_web.dir/isidewith.cpp.o.d"
+  "/root/repo/src/web/site.cpp" "src/web/CMakeFiles/h2priv_web.dir/site.cpp.o" "gcc" "src/web/CMakeFiles/h2priv_web.dir/site.cpp.o.d"
+  "/root/repo/src/web/streaming.cpp" "src/web/CMakeFiles/h2priv_web.dir/streaming.cpp.o" "gcc" "src/web/CMakeFiles/h2priv_web.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/h2priv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/h2priv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

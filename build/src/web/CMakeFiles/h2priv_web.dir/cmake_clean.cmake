@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2priv_web.dir/isidewith.cpp.o"
+  "CMakeFiles/h2priv_web.dir/isidewith.cpp.o.d"
+  "CMakeFiles/h2priv_web.dir/site.cpp.o"
+  "CMakeFiles/h2priv_web.dir/site.cpp.o.d"
+  "CMakeFiles/h2priv_web.dir/streaming.cpp.o"
+  "CMakeFiles/h2priv_web.dir/streaming.cpp.o.d"
+  "libh2priv_web.a"
+  "libh2priv_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2priv_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

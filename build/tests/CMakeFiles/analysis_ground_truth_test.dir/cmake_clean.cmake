@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_ground_truth_test.dir/analysis_ground_truth_test.cpp.o"
+  "CMakeFiles/analysis_ground_truth_test.dir/analysis_ground_truth_test.cpp.o.d"
+  "analysis_ground_truth_test"
+  "analysis_ground_truth_test.pdb"
+  "analysis_ground_truth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_ground_truth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_partial_matcher_test.dir/core_partial_matcher_test.cpp.o"
+  "CMakeFiles/core_partial_matcher_test.dir/core_partial_matcher_test.cpp.o.d"
+  "core_partial_matcher_test"
+  "core_partial_matcher_test.pdb"
+  "core_partial_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_partial_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

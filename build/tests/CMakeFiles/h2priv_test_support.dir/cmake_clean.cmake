@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2priv_test_support.dir/support/stack_pair.cpp.o"
+  "CMakeFiles/h2priv_test_support.dir/support/stack_pair.cpp.o.d"
+  "CMakeFiles/h2priv_test_support.dir/support/tcp_pair.cpp.o"
+  "CMakeFiles/h2priv_test_support.dir/support/tcp_pair.cpp.o.d"
+  "libh2priv_test_support.a"
+  "libh2priv_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2priv_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

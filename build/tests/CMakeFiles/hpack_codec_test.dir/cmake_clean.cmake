@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpack_codec_test.dir/hpack_codec_test.cpp.o"
+  "CMakeFiles/hpack_codec_test.dir/hpack_codec_test.cpp.o.d"
+  "hpack_codec_test"
+  "hpack_codec_test.pdb"
+  "hpack_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpack_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

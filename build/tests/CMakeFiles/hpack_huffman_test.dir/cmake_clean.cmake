@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpack_huffman_test.dir/hpack_huffman_test.cpp.o"
+  "CMakeFiles/hpack_huffman_test.dir/hpack_huffman_test.cpp.o.d"
+  "hpack_huffman_test"
+  "hpack_huffman_test.pdb"
+  "hpack_huffman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpack_huffman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

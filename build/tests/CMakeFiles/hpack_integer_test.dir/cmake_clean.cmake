@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpack_integer_test.dir/hpack_integer_test.cpp.o"
+  "CMakeFiles/hpack_integer_test.dir/hpack_integer_test.cpp.o.d"
+  "hpack_integer_test"
+  "hpack_integer_test.pdb"
+  "hpack_integer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpack_integer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

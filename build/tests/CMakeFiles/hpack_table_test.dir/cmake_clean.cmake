@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpack_table_test.dir/hpack_table_test.cpp.o"
+  "CMakeFiles/hpack_table_test.dir/hpack_table_test.cpp.o.d"
+  "hpack_table_test"
+  "hpack_table_test.pdb"
+  "hpack_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpack_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

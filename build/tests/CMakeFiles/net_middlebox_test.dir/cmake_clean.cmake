@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_middlebox_test.dir/net_middlebox_test.cpp.o"
+  "CMakeFiles/net_middlebox_test.dir/net_middlebox_test.cpp.o.d"
+  "net_middlebox_test"
+  "net_middlebox_test.pdb"
+  "net_middlebox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_middlebox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

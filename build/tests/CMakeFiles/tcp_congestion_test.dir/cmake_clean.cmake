@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_congestion_test.dir/tcp_congestion_test.cpp.o"
+  "CMakeFiles/tcp_congestion_test.dir/tcp_congestion_test.cpp.o.d"
+  "tcp_congestion_test"
+  "tcp_congestion_test.pdb"
+  "tcp_congestion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_congestion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_session_test.dir/tls_session_test.cpp.o"
+  "CMakeFiles/tls_session_test.dir/tls_session_test.cpp.o.d"
+  "tls_session_test"
+  "tls_session_test.pdb"
+  "tls_session_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_hex_test.dir/util_hex_test.cpp.o"
+  "CMakeFiles/util_hex_test.dir/util_hex_test.cpp.o.d"
+  "util_hex_test"
+  "util_hex_test.pdb"
+  "util_hex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_hex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

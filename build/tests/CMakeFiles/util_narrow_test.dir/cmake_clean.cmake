@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_narrow_test.dir/util_narrow_test.cpp.o"
+  "CMakeFiles/util_narrow_test.dir/util_narrow_test.cpp.o.d"
+  "util_narrow_test"
+  "util_narrow_test.pdb"
+  "util_narrow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_narrow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

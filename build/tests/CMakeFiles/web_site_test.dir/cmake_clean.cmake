@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_site_test.dir/web_site_test.cpp.o"
+  "CMakeFiles/web_site_test.dir/web_site_test.cpp.o.d"
+  "web_site_test"
+  "web_site_test.pdb"
+  "web_site_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_site_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
