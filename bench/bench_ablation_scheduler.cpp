@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
               "HTML mean DoM", "HTML identified (%)", "positions /8 (mean)");
   std::printf("---------------+--------------+----------------------+----------------------+----------------------\n");
 
+  std::vector<std::pair<std::string, double>> headline;
   for (const auto policy : {server::InterleavePolicy::kSequential,
                             server::InterleavePolicy::kRoundRobin,
                             server::InterleavePolicy::kWeighted}) {
@@ -34,10 +35,17 @@ int main(int argc, char** argv) {
                   batch.mean([](const core::RunResult& r) {
                     return r.sequence_positions_correct;
                   }));
+      headline.emplace_back(
+          std::string(server::to_string(policy)) + (attack ? "_active" : "_passive") +
+              "_identified_pct",
+          batch.pct([](const core::RunResult& r) {
+            return r.html.any_serialized_copy && r.html.identified;
+          }));
     }
   }
   std::printf("\nexpected: the sequential (HTTP/1.1-like) server leaks to a passive observer;\n"
               "round-robin/weighted protect passively but fall to the active pipeline —\n"
               "the paper's thesis that multiplexing is not a dependable defense.\n");
+  bench::emit_bench_json("ablation_scheduler", headline);
   return 0;
 }

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   std::printf("%-22s | %-12s | %-14s | %-18s | %-12s\n", "stages", "HTML ok (%)",
               "positions /8", "re-GETs (mean)", "broken (%)");
   std::printf("-----------------------+--------------+----------------+--------------------+------------\n");
+  std::vector<std::pair<std::string, double>> headline;
   for (const Stage& stage : stages) {
     core::RunConfig cfg;
     cfg.attack_enabled = true;
@@ -41,8 +42,16 @@ int main(int argc, char** argv) {
                 }),
                 batch.mean([](const core::RunResult& r) { return r.browser_rerequests; }),
                 batch.pct([](const core::RunResult& r) { return r.broken; }));
+    std::string key = stage.name;
+    for (char& c : key) {
+      if (c == ' ' || c == '+') c = '_';
+    }
+    headline.emplace_back(
+        "html_ok_pct_" + key,
+        batch.pct([](const core::RunResult& r) { return r.html.attack_success; }));
   }
   std::printf("\nexpected: drops (the reset mechanism) are what lift the HTML target to\n"
               "~90%%; spacing alone leaves later objects buried in retransmission copies.\n");
+  bench::emit_bench_json("ablation_stages", headline);
   return 0;
 }

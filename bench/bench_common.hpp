@@ -1,30 +1,76 @@
 // Shared helpers for the reproduction benches: seeded batch runs over
-// core::run_once plus small aggregation utilities.
+// core::run_once (parallel across seeds), aggregation utilities, and the
+// BENCH_JSON perf-tracking line every bench binary emits on exit.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <numeric>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "h2priv/core/experiment.hpp"
+#include "h2priv/core/parallel_runner.hpp"
 
 namespace h2priv::bench {
 
-/// Downloads per configuration; the paper repeats each experiment 100 times.
-/// Override with argv[1] for quick smoke runs.
-inline int runs_from_argv(int argc, char** argv, int fallback = 100) {
-  if (argc > 1) {
-    const int n = std::atoi(argv[1]);
-    if (n > 0) return n;
+/// Process-wide bench state: CLI options plus the perf totals that feed the
+/// final BENCH_JSON line. One instance per bench binary (they are separate
+/// executables; the header is their only harness).
+struct Harness {
+  int runs = 100;            ///< downloads per configuration (paper: 100)
+  core::Parallelism jobs{};  ///< batch worker threads (0 = all hw threads)
+  std::chrono::steady_clock::time_point started = std::chrono::steady_clock::now();
+
+  // Accumulated across every run_batch() call in the binary.
+  int total_runs = 0;
+  double batch_wall_s = 0.0;
+  std::uint64_t total_events = 0;
+
+  static Harness& instance() {
+    static Harness h;
+    return h;
   }
-  return fallback;
+};
+
+/// Parses bench CLI options and arms the harness. Accepted forms:
+///   <runs>            positional, kept for the existing smoke-run idiom
+///   --runs N
+///   --jobs N          batch worker threads; 0 = all hardware threads
+/// plus the H2PRIV_JOBS environment variable (overridden by --jobs).
+/// Returns the run count; the paper repeats each experiment 100 times.
+inline int runs_from_argv(int argc, char** argv, int fallback = 100) {
+  Harness& h = Harness::instance();
+  h.runs = fallback;
+  h.jobs = core::Parallelism::from_env();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      h.jobs.jobs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      h.runs = std::atoi(argv[++i]);
+    } else if (i == 1) {
+      const int n = std::atoi(argv[i]);
+      if (n > 0) h.runs = n;
+    }
+  }
+  if (h.runs <= 0) h.runs = fallback;
+  return h.runs;
 }
 
 struct Batch {
   std::vector<core::RunResult> results;
+  double wall_seconds = 0.0;          ///< wall-clock for this batch
+  std::uint64_t events_executed = 0;  ///< summed simulator events
+  int jobs_used = 1;
 
   [[nodiscard]] int n() const { return static_cast<int>(results.size()); }
+
+  [[nodiscard]] double events_per_second() const {
+    return wall_seconds > 0 ? static_cast<double>(events_executed) / wall_seconds : 0.0;
+  }
 
   [[nodiscard]] double pct(auto&& predicate) const {
     int hits = 0;
@@ -39,22 +85,63 @@ struct Batch {
   }
 };
 
+/// Runs seeds {base_seed .. base_seed+runs-1} across the harness's worker
+/// pool (see --jobs / H2PRIV_JOBS). Results are bit-identical to the serial
+/// loop for every job count; only the wall clock changes.
 inline Batch run_batch(core::RunConfig config, int runs, std::uint64_t base_seed = 1'000) {
+  Harness& h = Harness::instance();
   Batch b;
-  b.results.reserve(static_cast<std::size_t>(runs));
-  for (int i = 0; i < runs; ++i) {
-    config.seed = base_seed + static_cast<std::uint64_t>(i);
-    b.results.push_back(core::run_once(config));
-  }
+  b.jobs_used = core::effective_jobs(h.jobs, runs);
+  config.seed = base_seed;
+  const auto t0 = std::chrono::steady_clock::now();
+  b.results = core::run_many(config, runs, h.jobs);
+  b.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  for (const auto& r : b.results) b.events_executed += r.events_executed;
+  h.total_runs += b.n();
+  h.batch_wall_s += b.wall_seconds;
+  h.total_events += b.events_executed;
   return b;
 }
 
 inline void print_header(const char* id, const char* paper_ref, const char* what, int runs) {
+  const Harness& h = Harness::instance();
   std::printf("==========================================================================\n");
   std::printf("%s — %s\n", id, paper_ref);
   std::printf("%s\n", what);
-  std::printf("(%d simulated page loads per configuration)\n", runs);
+  std::printf("(%d simulated page loads per configuration, %d worker thread(s))\n", runs,
+              core::effective_jobs(h.jobs, std::max(1, runs)));
   std::printf("==========================================================================\n");
+}
+
+/// Prints the batch-layer perf summary for one batch (optional, human-facing).
+inline void print_batch_perf(const Batch& b) {
+  std::printf("  [%d runs in %.2fs, %d job(s), %.2fM events, %.2fM events/s]\n", b.n(),
+              b.wall_seconds, b.jobs_used, static_cast<double>(b.events_executed) / 1e6,
+              b.events_per_second() / 1e6);
+}
+
+/// Emits the final machine-readable perf line. `metrics` carries the bench's
+/// headline numbers (e.g. attack success rate); the harness adds runs, jobs,
+/// wall_s and events so the perf trajectory is trackable across PRs:
+///   BENCH_JSON {"name":"table1_jitter","runs":400,...,"metrics":{...}}
+inline void emit_bench_json(
+    const char* name, const std::vector<std::pair<std::string, double>>& metrics = {}) {
+  const Harness& h = Harness::instance();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - h.started).count();
+  const double batch_wall = h.batch_wall_s > 0 ? h.batch_wall_s : wall_s;
+  const double events_per_s =
+      batch_wall > 0 ? static_cast<double>(h.total_events) / batch_wall : 0.0;
+  std::printf("BENCH_JSON {\"name\":\"%s\",\"runs\":%d,\"jobs\":%d,\"wall_s\":%.3f,"
+              "\"batch_wall_s\":%.3f,\"events\":%llu,\"events_per_s\":%.5g,\"metrics\":{",
+              name, h.total_runs, core::effective_jobs(h.jobs, std::max(1, h.runs)), wall_s,
+              h.batch_wall_s, static_cast<unsigned long long>(h.total_events), events_per_s);
+  bool first = true;
+  for (const auto& [key, value] : metrics) {
+    std::printf("%s\"%s\":%.6g", first ? "" : ",", key.c_str(), value);
+    first = false;
+  }
+  std::printf("}}\n");
 }
 
 }  // namespace h2priv::bench

@@ -79,5 +79,8 @@ int main(int argc, char** argv) {
   std::printf("reading: without record delimiters, back-to-back responses merge and the\n"
               "exact match loses targets; explaining merged bursts as sums of catalog\n"
               "sizes recovers a share of them (ambiguous sums are refused, not guessed).\n");
+  bench::emit_bench_json("ext_partial_inference",
+                         {{"exact_identified_per_run", exact_hits / batch.n()},
+                          {"subset_identified_per_run", subset_hits / batch.n()}});
   return 0;
 }

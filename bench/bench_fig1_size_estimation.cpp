@@ -135,5 +135,13 @@ int main(int argc, char** argv) {
   std::printf("  DoM(O1)=%.2f DoM(O2)=%.2f   observer estimates: O1≈%zu O2≈%zu (%zu bursts)\n",
               mux.dom_o1, mux.dom_o2, mux.est_o1, mux.est_o2, mux.bursts);
   std::printf("  -> interleaved segments: size estimates no longer match the objects\n");
+  bench::emit_bench_json(
+      "fig1_size_estimation",
+      {{"seq_o1_error_bytes",
+        std::fabs(static_cast<double>(seq.est_o1) - static_cast<double>(kSizeO1))},
+       {"seq_o2_error_bytes",
+        std::fabs(static_cast<double>(seq.est_o2) - static_cast<double>(kSizeO2))},
+       {"mux_o1_error_bytes",
+        std::fabs(static_cast<double>(mux.est_o1) - static_cast<double>(kSizeO1))}});
   return 0;
 }

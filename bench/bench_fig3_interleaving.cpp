@@ -56,5 +56,12 @@ int main(int argc, char** argv) {
       break;
     }
   }
+  bench::emit_bench_json(
+      "fig3_interleaving",
+      {{"html_mean_dom", batch.mean([](const core::RunResult& r) {
+          return r.html.primary_dom.value_or(0.0);
+        })},
+       {"emblem_mean_dom", mean_dom / total},
+       {"emblem_dom_ge_0.8_pct", 100.0 * in_band / total}});
   return 0;
 }

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
               "responses (mean)", "served (mean)", "overlapped target (%)");
   std::printf("---------------+--------------+--------------------+----------------------+-------------------------\n");
 
+  std::vector<std::pair<std::string, double>> headline;
   for (const long ms : {0L, 25L, 50L, 100L, 150L}) {
     core::RunConfig cfg;
     if (ms > 0) cfg.manual_spacing = util::milliseconds(ms);
@@ -42,6 +43,9 @@ int main(int argc, char** argv) {
                   return r.duplicate_server_responses;
                 }),
                 copies, overlapped);
+    headline.emplace_back(
+        "regets_mean_" + std::to_string(ms) + "ms",
+        batch.mean([](const core::RunResult& r) { return r.browser_rerequests; }));
   }
   std::printf("\nexpected shape: re-GETs and duplicate responses grow with spacing — the\n"
               "paper's Fig. 4 mechanism that caps what jitter alone can achieve.\n");
@@ -58,5 +62,6 @@ int main(int argc, char** argv) {
       break;
     }
   }
+  bench::emit_bench_json("fig4_retransmit_storm", headline);
   return 0;
 }

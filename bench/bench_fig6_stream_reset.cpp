@@ -15,10 +15,20 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 6", "Mitra et al., DSN'20, Section IV-D",
                       "Targeted drops -> stream reset -> clean-slate retransmission", runs);
 
+  std::vector<std::pair<std::string, double>> headline;
   {
     core::RunConfig cfg;
     cfg.attack_enabled = true;
     const bench::Batch batch = bench::run_batch(cfg, runs);
+    headline.emplace_back("reset_pct", batch.pct([](const core::RunResult& r) {
+                            return r.reset_episodes > 0;
+                          }));
+    headline.emplace_back("serialized_pct", batch.pct([](const core::RunResult& r) {
+                            return r.html.any_serialized_copy;
+                          }));
+    headline.emplace_back("success_pct", batch.pct([](const core::RunResult& r) {
+                            return r.html.attack_success;
+                          }));
     std::printf("full pipeline at the paper's parameters (80%% drops, <=6 s):\n");
     std::printf("  runs with a reset episode      : %.0f%%\n",
                 batch.pct([](const core::RunResult& r) { return r.reset_episodes > 0; }));
@@ -64,5 +74,6 @@ int main(int argc, char** argv) {
                 batch.pct([](const core::RunResult& r) { return r.html.attack_success; }),
                 batch.pct([](const core::RunResult& r) { return r.broken; }));
   }
+  bench::emit_bench_json("fig6_stream_reset", headline);
   return 0;
 }

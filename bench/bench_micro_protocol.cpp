@@ -1,17 +1,116 @@
-// Microbenchmarks of the protocol substrates (google-benchmark): HPACK
-// coding, HTTP/2 framing, TLS record sealing, TCP loop throughput, and a
-// whole simulated page load.
+// Microbenchmarks of the protocol substrates (google-benchmark): the
+// simulator event queue (schedule/cancel/run mixes — the per-event hot
+// path), HPACK coding, HTTP/2 framing, TLS record sealing, TCP loop
+// throughput, and a whole simulated page load.
+#include <array>
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "h2priv/core/experiment.hpp"
+#include "h2priv/core/parallel_runner.hpp"
 #include "h2priv/h2/frame.hpp"
 #include "h2priv/hpack/codec.hpp"
 #include "h2priv/hpack/huffman.hpp"
+#include "h2priv/sim/simulator.hpp"
 #include "h2priv/tls/record.hpp"
 
 namespace {
 
 using namespace h2priv;
+
+// --- simulator event-queue hot path -----------------------------------------
+
+/// Pure schedule->run churn: the floor cost of one event through the queue.
+void BM_SimEventScheduleRun(benchmark::State& state) {
+  constexpr int kBatch = 1024;
+  sim::Simulator sim;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      sim.schedule(util::nanoseconds(i % 97), [&sink] { ++sink; });
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SimEventScheduleRun);
+
+/// Packet-delivery-shaped events: a 40-byte moved-in capture, like Link's
+/// delivery lambda (exercises the small-buffer Task path; std::function
+/// heap-allocated every one of these).
+void BM_SimEventPacketCapture(benchmark::State& state) {
+  constexpr int kBatch = 1024;
+  sim::Simulator sim;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      std::array<std::uint64_t, 5> payload{};  // Packet-sized capture
+      payload[0] = static_cast<std::uint64_t>(i);
+      sim.schedule(util::nanoseconds(i % 97),
+                   [&sink, payload] { sink += payload[0]; });
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SimEventPacketCapture);
+
+/// The schedule/cancel/run mix of a real run: half the scheduled events are
+/// cancelled before they fire (delayed-ACK and RTO timers rearm constantly).
+void BM_SimEventScheduleCancelRun(benchmark::State& state) {
+  constexpr int kBatch = 1024;
+  sim::Simulator sim;
+  std::uint64_t sink = 0;
+  std::array<sim::EventId, kBatch> ids{};
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      ids[static_cast<std::size_t>(i)] =
+          sim.schedule(util::nanoseconds(i % 97), [&sink] { ++sink; });
+    }
+    for (int i = 0; i < kBatch; i += 2) sim.cancel(ids[static_cast<std::size_t>(i)]);
+    sim.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SimEventScheduleCancelRun);
+
+/// Timer churn: cancel-and-rearm a single pending timer (pure cancellation
+/// cost; the tombstoned entries drain at the end).
+void BM_SimEventTimerRearm(benchmark::State& state) {
+  constexpr int kBatch = 1024;
+  sim::Simulator sim;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::EventId id{};
+    for (int i = 0; i < kBatch; ++i) {
+      sim.cancel(id);
+      id = sim.schedule(util::milliseconds(100), [&sink] { ++sink; });
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SimEventTimerRearm);
+
+// --- batch layer -------------------------------------------------------------
+
+/// Whole Monte-Carlo batch through core::run_many; Arg is the job count
+/// (1 = serial loop, 0 = one worker per hardware thread).
+void BM_RunManyBatch(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  core::RunConfig cfg;
+  for (auto _ : state) {
+    const auto results = core::run_many(cfg, 8, core::Parallelism{jobs});
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["runs_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 8.0, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RunManyBatch)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond)->Iterations(2);
 
 void BM_HuffmanEncode(benchmark::State& state) {
   const std::string s = "/images/emblem-party-1.png?cache=31415926&v=20200316";
@@ -121,4 +220,11 @@ BENCHMARK(BM_SimulatedAttackRun)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  h2priv::bench::emit_bench_json("micro_protocol");
+  return 0;
+}

@@ -66,5 +66,12 @@ int main(int argc, char** argv) {
               batch.mean([](const core::RunResult& r) { return r.browser_rerequests; }),
               batch.mean([](const core::RunResult& r) { return r.reset_episodes; }),
               batch.mean([](const core::RunResult& r) { return r.sequence_positions_correct; }));
+  bench::emit_bench_json(
+      "table2_attack",
+      {{"html_success_pct",
+        batch.pct([](const core::RunResult& r) { return r.html.attack_success; })},
+       {"mean_positions_correct",
+        batch.mean([](const core::RunResult& r) { return r.sequence_positions_correct; })},
+       {"broken_pct", batch.pct([](const core::RunResult& r) { return r.broken; })}});
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "h2priv/analysis/trace_export.hpp"
+#include "h2priv/core/parallel_runner.hpp"
 #include "h2priv/net/link.hpp"
 #include "h2priv/net/middlebox.hpp"
 #include "h2priv/sim/simulator.hpp"
@@ -127,10 +128,12 @@ RunResult run_once(const RunConfig& config) {
   // --- go ---------------------------------------------------------------------
   server_tcp.listen();
   client_tcp.connect();
-  sim.run_until(util::TimePoint{} + config.deadline);
+  const std::size_t events_executed =
+      sim.run_until(util::TimePoint{} + config.deadline);
 
   // --- score ------------------------------------------------------------------
   RunResult result;
+  result.events_executed = events_executed;
   result.page_complete = browser.stats().page_complete;
   result.broken = browser.stats().broken;
   result.page_load_seconds =
@@ -196,9 +199,11 @@ RunResult run_once(const RunConfig& config) {
     std::ofstream packets(config.trace_export_prefix + "_packets.csv");
     analysis::write_packets_csv(packets, monitor.packets());
     std::ofstream records(config.trace_export_prefix + "_records.csv");
-    std::vector<analysis::RecordObservation> all_records =
-        monitor.records(net::Direction::kClientToServer);
+    const auto& c2s = monitor.records(net::Direction::kClientToServer);
     const auto& s2c = monitor.records(net::Direction::kServerToClient);
+    std::vector<analysis::RecordObservation> all_records;
+    all_records.reserve(c2s.size() + s2c.size());
+    all_records.insert(all_records.end(), c2s.begin(), c2s.end());
     all_records.insert(all_records.end(), s2c.begin(), s2c.end());
     analysis::write_records_csv(records, all_records);
     std::ofstream gt(config.trace_export_prefix + "_ground_truth.csv");
@@ -207,15 +212,8 @@ RunResult run_once(const RunConfig& config) {
   return result;
 }
 
-std::vector<RunResult> run_many(RunConfig config, int n) {
-  std::vector<RunResult> out;
-  out.reserve(static_cast<std::size_t>(n));
-  const std::uint64_t base = config.seed;
-  for (int i = 0; i < n; ++i) {
-    config.seed = base + static_cast<std::uint64_t>(i);
-    out.push_back(run_once(config));
-  }
-  return out;
+std::vector<RunResult> run_many(const RunConfig& config, int n) {
+  return run_many(config, n, Parallelism::from_env());
 }
 
 }  // namespace h2priv::core

@@ -110,6 +110,7 @@ struct RunResult {
 
   // Raw materials for specialized analyses.
   std::shared_ptr<analysis::GroundTruth> truth;
+  std::uint64_t events_executed = 0;  ///< simulator events this run (perf surface)
   std::uint64_t monitor_packets = 0;
   int monitor_gets = 0;
   std::uint64_t egress_burst_drops = 0;  ///< gateway contention losses
@@ -128,7 +129,10 @@ struct RunResult {
 /// Executes one seeded page load and scores it.
 [[nodiscard]] RunResult run_once(const RunConfig& config);
 
-/// Convenience: run `n` seeds {base_seed .. base_seed+n-1}.
-[[nodiscard]] std::vector<RunResult> run_many(RunConfig config, int n);
+/// Convenience: run `n` seeds {base_seed .. base_seed+n-1}. Honors the
+/// H2PRIV_JOBS environment variable (defaults to all hardware threads; the
+/// results are bit-identical for any job count). For an explicit job count
+/// see run_many(config, n, Parallelism) in parallel_runner.hpp.
+[[nodiscard]] std::vector<RunResult> run_many(const RunConfig& config, int n);
 
 }  // namespace h2priv::core

@@ -1,0 +1,77 @@
+#include "h2priv/core/parallel_runner.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace h2priv::core {
+
+Parallelism Parallelism::from_env() noexcept {
+  if (const char* env = std::getenv("H2PRIV_JOBS")) {
+    const int jobs = std::atoi(env);
+    if (jobs >= 0) return Parallelism{jobs};
+  }
+  return Parallelism{0};
+}
+
+int effective_jobs(Parallelism parallelism, int items) noexcept {
+  int jobs = parallelism.jobs;
+  if (jobs <= 0) jobs = static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs <= 0) jobs = 1;  // hardware_concurrency() may report 0
+  if (jobs > items) jobs = items;
+  return jobs < 1 ? 1 : jobs;
+}
+
+void parallel_for(int n, Parallelism parallelism,
+                  const std::function<void(int)>& body) {
+  if (n <= 0) return;
+  const int jobs = effective_jobs(parallelism, n);
+  if (jobs == 1) {
+    for (int i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs - 1));
+  for (int t = 0; t < jobs - 1; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread pulls its weight too
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<RunResult> run_many(const RunConfig& config, int n,
+                                Parallelism parallelism) {
+  std::vector<RunResult> out(static_cast<std::size_t>(n < 0 ? 0 : n));
+  const std::uint64_t base = config.seed;
+  parallel_for(n, parallelism, [&](int i) {
+    RunConfig cfg = config;  // each worker run owns its config copy
+    cfg.seed = base + static_cast<std::uint64_t>(i);
+    out[static_cast<std::size_t>(i)] = run_once(cfg);
+  });
+  return out;
+}
+
+}  // namespace h2priv::core

@@ -1,0 +1,114 @@
+// Small-buffer move-only callable for simulator events.
+//
+// The hot path schedules millions of short-lived closures per run; with
+// std::function each one costs a heap allocation whenever the capture list
+// outgrows libstdc++'s 16-byte inline buffer — which a Link delivery lambda
+// (this + a 40-byte Packet) always does. Task inlines captures up to
+// kInlineSize bytes (sized for the largest lambda the stack schedules:
+// Link/Middlebox packet deliveries) and only falls back to the heap beyond
+// that. Move-only, since event closures are executed exactly once and
+// routinely own Packets.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace h2priv::sim {
+
+class Task {
+ public:
+  /// Inline capture budget. Link's delivery lambda — the most common event in
+  /// any run — captures `this` plus a Packet (id + direction + a vector), 48
+  /// bytes on LP64; 64 leaves headroom for one extra captured pointer.
+  static constexpr std::size_t kInlineSize = 64;
+
+  Task() noexcept = default;
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, Task> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  Task(F&& fn) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  Task(Task&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs into `dst` from `src` and destroys `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <class D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <class D>
+  static constexpr Ops kInlineOps{
+      [](void* s) { (*static_cast<D*>(static_cast<void*>(s)))(); },
+      [](void* dst, void* src) noexcept {
+        D* from = static_cast<D*>(src);
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) noexcept { static_cast<D*>(s)->~D(); },
+  };
+
+  template <class D>
+  static constexpr Ops kHeapOps{
+      [](void* s) { (**static_cast<D**>(s))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* s) noexcept { delete *static_cast<D**>(s); },
+  };
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace h2priv::sim

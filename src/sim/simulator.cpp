@@ -5,43 +5,123 @@
 
 namespace h2priv::sim {
 
-EventId Simulator::schedule(Duration delay, std::function<void()> fn) {
+namespace {
+/// Steady-state queue depth of a full-stack page load stays well under this;
+/// reserving up front keeps the hot loop free of reallocations.
+constexpr std::size_t kInitialCapacity = 1024;
+}  // namespace
+
+Simulator::Simulator() {
+  heap_.reserve(kInitialCapacity);
+  slots_.reserve(kInitialCapacity);
+}
+
+EventId Simulator::schedule(Duration delay, Task fn) {
   if (delay.ns < 0) throw std::invalid_argument("Simulator::schedule: negative delay");
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-EventId Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+EventId Simulator::schedule_at(TimePoint when, Task fn) {
   if (when < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
   const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{when, seq, seq, std::move(fn)});
-  return EventId{seq};
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].fn = std::move(fn);
+  heap_.push_back(Entry{when, seq, slot});
+  sift_up(heap_.size() - 1);
+  return EventId{(static_cast<std::uint64_t>(slots_[slot].generation) << 32) | slot};
 }
 
 void Simulator::cancel(EventId id) {
-  if (id.valid()) cancelled_.insert(id.value);
+  if (!id.valid()) return;
+  const auto slot = static_cast<std::uint32_t>(id.value & 0xffff'ffffu);
+  const auto generation = static_cast<std::uint32_t>(id.value >> 32);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (s.generation != generation || !s.live) return;  // already ran or cancelled
+  s.live = false;
+  s.fn = Task{};  // the closure will never run — free its resources now
+  ++cancelled_pending_;
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].live = true;
+    return slot;
+  }
+  slots_.push_back(Slot{Task{}, 1, kNoSlot, true});
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) noexcept {
+  Slot& s = slots_[slot];
+  // Bump the generation so stale EventIds for this slot can never cancel a
+  // later event that reuses it; skip 0 so packed handles stay non-zero.
+  if (++s.generation == 0) s.generation = 1;
+  s.live = false;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Simulator::sift_up(std::size_t i) noexcept {
+  Entry e = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], e)) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(e);
+}
+
+void Simulator::sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_.size();
+  Entry e = std::move(heap_[i]);
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && later(heap_[child], heap_[child + 1])) ++child;
+    if (!later(e, heap_[child])) break;
+    heap_[i] = std::move(heap_[child]);
+    i = child;
+  }
+  heap_[i] = std::move(e);
+}
+
+void Simulator::remove_top() {
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+bool Simulator::settle_head() {
+  while (!heap_.empty()) {
+    const std::uint32_t slot = heap_.front().slot;
+    if (slots_[slot].live) return true;
+    release_slot(slot);
+    --cancelled_pending_;
+    remove_top();
+  }
+  return false;
 }
 
 bool Simulator::pop_and_run() {
-  while (!queue_.empty()) {
-    // priority_queue has no non-const top-with-move; Entry's closure must be
-    // moved out before pop, so copy the POD fields first.
-    auto& top = const_cast<Entry&>(queue_.top());
-    const TimePoint when = top.when;
-    const std::uint64_t id = top.id;
-    std::function<void()> fn = std::move(top.fn);
-    queue_.pop();
-    if (const auto it = cancelled_.find(id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    now_ = when;
-    fn();
-    if (++executed_ > event_limit_) {
-      throw std::runtime_error("Simulator: event limit exceeded (runaway event storm?)");
-    }
-    return true;
+  if (!settle_head()) return false;
+  const Entry top = heap_.front();
+  now_ = top.when;
+  Task fn = std::move(slots_[top.slot].fn);
+  release_slot(top.slot);
+  remove_top();
+  fn();
+  if (++executed_ > event_limit_) {
+    throw std::runtime_error("Simulator: event limit exceeded (runaway event storm?)");
   }
-  return false;
+  return true;
 }
 
 std::size_t Simulator::run() {
@@ -52,14 +132,8 @@ std::size_t Simulator::run() {
 
 std::size_t Simulator::run_until(TimePoint deadline) {
   std::size_t n = 0;
-  while (!queue_.empty()) {
-    // Skip cancelled heads so their timestamps don't stall the deadline check.
-    if (cancelled_.contains(queue_.top().id)) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
-      continue;
-    }
-    if (queue_.top().when > deadline) break;
+  while (settle_head()) {
+    if (heap_.front().when > deadline) break;
     if (pop_and_run()) ++n;
   }
   if (now_ < deadline) now_ = deadline;

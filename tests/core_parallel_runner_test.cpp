@@ -1,0 +1,105 @@
+// Determinism regression for the parallel batch runner: run_many with any
+// job count must return RunResults bit-identical to the serial loop — the
+// whole point of per-run Simulator+Rng isolation.
+#include "h2priv/core/parallel_runner.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace h2priv::core {
+namespace {
+
+/// Field-by-field equality over everything run_once computes (the shared_ptr
+/// truth is per-run scratch and deliberately excluded).
+void expect_identical(const RunResult& a, const RunResult& b, int seed_offset) {
+  SCOPED_TRACE("seed offset " + std::to_string(seed_offset));
+  EXPECT_EQ(a.page_complete, b.page_complete);
+  EXPECT_EQ(a.broken, b.broken);
+  EXPECT_EQ(a.page_load_seconds, b.page_load_seconds);  // exact: same event stream
+  EXPECT_EQ(a.browser_rerequests, b.browser_rerequests);
+  EXPECT_EQ(a.reset_episodes, b.reset_episodes);
+  EXPECT_EQ(a.rst_streams_sent, b.rst_streams_sent);
+  EXPECT_EQ(a.tcp_retransmits, b.tcp_retransmits);
+  EXPECT_EQ(a.duplicate_server_responses, b.duplicate_server_responses);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.monitor_packets, b.monitor_packets);
+  EXPECT_EQ(a.monitor_gets, b.monitor_gets);
+  EXPECT_EQ(a.egress_burst_drops, b.egress_burst_drops);
+  EXPECT_EQ(a.attack_horizon_seconds, b.attack_horizon_seconds);
+  EXPECT_EQ(a.true_party_order, b.true_party_order);
+  EXPECT_EQ(a.predicted_sequence, b.predicted_sequence);
+  EXPECT_EQ(a.sequence_positions_correct, b.sequence_positions_correct);
+
+  const auto expect_outcome_eq = [](const ObjectOutcome& x, const ObjectOutcome& y) {
+    EXPECT_EQ(x.object_id, y.object_id);
+    EXPECT_EQ(x.label, y.label);
+    EXPECT_EQ(x.true_size, y.true_size);
+    EXPECT_EQ(x.primary_dom, y.primary_dom);
+    EXPECT_EQ(x.serialized_primary, y.serialized_primary);
+    EXPECT_EQ(x.any_serialized_copy, y.any_serialized_copy);
+    EXPECT_EQ(x.identified, y.identified);
+    EXPECT_EQ(x.attack_success, y.attack_success);
+  };
+  expect_outcome_eq(a.html, b.html);
+  for (std::size_t pos = 0; pos < a.emblems_by_position.size(); ++pos) {
+    expect_outcome_eq(a.emblems_by_position[pos], b.emblems_by_position[pos]);
+  }
+}
+
+TEST(ParallelRunner, EffectiveJobsResolution) {
+  EXPECT_EQ(effective_jobs(Parallelism{1}, 100), 1);
+  EXPECT_EQ(effective_jobs(Parallelism{4}, 100), 4);
+  EXPECT_EQ(effective_jobs(Parallelism{8}, 3), 3);  // never more workers than items
+  EXPECT_GE(effective_jobs(Parallelism{0}, 100), 1);  // hw concurrency, at least 1
+}
+
+TEST(ParallelRunner, ParallelForCoversEveryIndexExactlyOnce) {
+  constexpr int kN = 503;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(kN));
+  parallel_for(kN, Parallelism{4}, [&](int i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(ParallelRunner, ParallelForPropagatesExceptions) {
+  EXPECT_THROW(parallel_for(64, Parallelism{4},
+                            [](int i) {
+                              if (i == 13) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelRunner, ResultsIdenticalToSerialForTwoBaseSeeds) {
+  constexpr int kRuns = 16;
+  for (const std::uint64_t base_seed : {1ull, 424'242ull}) {
+    RunConfig cfg;
+    cfg.seed = base_seed;
+    cfg.attack_enabled = true;  // exercise the full pipeline, not just loads
+    const std::vector<RunResult> serial = run_many(cfg, kRuns, Parallelism{1});
+    const std::vector<RunResult> parallel = run_many(cfg, kRuns, Parallelism{4});
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (int i = 0; i < kRuns; ++i) {
+      expect_identical(serial[static_cast<std::size_t>(i)],
+                       parallel[static_cast<std::size_t>(i)], i);
+    }
+  }
+}
+
+TEST(ParallelRunner, AllHardwareThreadsModeMatchesSerial) {
+  RunConfig cfg;
+  cfg.seed = 77;
+  const std::vector<RunResult> serial = run_many(cfg, 4, Parallelism{1});
+  const std::vector<RunResult> parallel = run_many(cfg, 4, Parallelism{0});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (int i = 0; i < 4; ++i) {
+    expect_identical(serial[static_cast<std::size_t>(i)],
+                     parallel[static_cast<std::size_t>(i)], i);
+  }
+}
+
+}  // namespace
+}  // namespace h2priv::core

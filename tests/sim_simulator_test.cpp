@@ -1,5 +1,6 @@
 #include "h2priv/sim/simulator.hpp"
 
+#include <functional>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -128,6 +129,117 @@ TEST(Simulator, PendingCountsUncancelledOnly) {
   sim.cancel(a);
   EXPECT_EQ(sim.pending(), 1u);
   EXPECT_FALSE(sim.empty());
+}
+
+TEST(Simulator, StaleCancelAfterRunCannotKillSlotReuser) {
+  // A handle kept across its event's execution must go stale: cancelling it
+  // after the slot has been recycled for a new event is a no-op on the new
+  // event (the generation scheme's whole job).
+  Simulator sim;
+  int first = 0, second = 0;
+  const EventId a = sim.schedule(milliseconds(1), [&] { ++first; });
+  sim.run();
+  // The next schedule reuses slot 0 (free list is LIFO).
+  sim.schedule(milliseconds(1), [&] { ++second; });
+  sim.cancel(a);  // stale handle — must NOT cancel the reusing event
+  sim.run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(Simulator, StaleCancelAfterCancelCannotKillSlotReuser) {
+  Simulator sim;
+  int fired = 0;
+  const EventId a = sim.schedule(milliseconds(1), [&] { ++fired; });
+  sim.cancel(a);
+  sim.run();  // drains the tombstone, freeing the slot
+  sim.schedule(milliseconds(1), [&] { ++fired; });
+  sim.cancel(a);  // doubly stale
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelHeavyWorkloadKeepsCountsConsistent) {
+  Simulator sim;
+  constexpr int kEvents = 1'000;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    ids.push_back(sim.schedule(milliseconds(i % 50), [&] { ++fired; }));
+  }
+  EXPECT_EQ(sim.pending(), static_cast<std::size_t>(kEvents));
+  // Cancel every other event, some of them twice (idempotence under load).
+  int cancelled = 0;
+  for (int i = 0; i < kEvents; i += 2) {
+    sim.cancel(ids[static_cast<std::size_t>(i)]);
+    sim.cancel(ids[static_cast<std::size_t>(i)]);
+    ++cancelled;
+  }
+  EXPECT_EQ(sim.pending(), static_cast<std::size_t>(kEvents - cancelled));
+  EXPECT_FALSE(sim.empty());
+  EXPECT_EQ(sim.run(), static_cast<std::size_t>(kEvents - cancelled));
+  EXPECT_EQ(fired, kEvents - cancelled);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, FifoPreservedAtEqualTimestampsAcrossCancellations) {
+  // Cancelling interleaved events must not disturb the FIFO order of the
+  // survivors at the same timestamp.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(sim.schedule(milliseconds(5), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 1; i < 20; i += 3) sim.cancel(ids[static_cast<std::size_t>(i)]);
+  sim.run();
+  std::vector<int> expected;
+  for (int i = 0; i < 20; ++i) {
+    if (i % 3 != 1) expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Simulator, CancelHeavyChurnThenRunUntil) {
+  // run_until must skip tombstoned heads without stalling the deadline and
+  // keep pending()/empty() truthful afterwards.
+  Simulator sim;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.schedule(milliseconds(i), [&] { ++fired; }));
+  }
+  for (int i = 0; i < 50; ++i) sim.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(sim.run_until(TimePoint{} + milliseconds(49)), 0u);
+  EXPECT_EQ(sim.now().ns, milliseconds(49).ns);
+  EXPECT_EQ(sim.pending(), 50u);
+  sim.run();
+  EXPECT_EQ(fired, 50);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, EventLimitStillGuardsCancelHeavyStorms) {
+  Simulator sim;
+  sim.set_event_limit(100);
+  // Each event schedules two successors and cancels one — the storm is
+  // cancel-heavy but still unbounded, and must trip the safety valve.
+  std::function<void()> storm = [&] {
+    const EventId doomed = sim.schedule(milliseconds(1), [] {});
+    sim.cancel(doomed);
+    sim.schedule(milliseconds(1), storm);
+  };
+  sim.schedule(milliseconds(1), storm);
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(Simulator, ExecutedCountsOnlyRealRuns) {
+  Simulator sim;
+  const EventId a = sim.schedule(milliseconds(1), [] {});
+  sim.schedule(milliseconds(2), [] {});
+  sim.cancel(a);
+  sim.run();
+  EXPECT_EQ(sim.executed(), 1u);
 }
 
 }  // namespace
