@@ -1,0 +1,234 @@
+// End-to-end stack throughput microbench (the data-path speedometer).
+//
+// Pushes N MiB of application bytes server->client through the full wire
+// path — TLS seal -> TCP segmentation -> links (-> middlebox + monitor) ->
+// TCP reassembly -> TLS open — and reports bytes/s, packets/s and heap
+// allocations per packet. Two scenarios:
+//   direct : client <-> server over two links, no adversary
+//   mitm   : the experiment topology's gateway middlebox with the traffic
+//            monitor tapping and parsing every packet
+//
+// Allocation counts come from a process-wide operator new override, so they
+// capture every heap allocation on the path (vectors, closures, pool refills
+// and misses alike). The BENCH_JSON line records the perf trajectory of the
+// hottest loop in the codebase; run bench/collect_bench.py to aggregate.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "h2priv/core/monitor.hpp"
+#include "h2priv/net/link.hpp"
+#include "h2priv/net/middlebox.hpp"
+#include "h2priv/sim/rng.hpp"
+#include "h2priv/sim/simulator.hpp"
+#include "h2priv/tcp/connection.hpp"
+#include "h2priv/tls/session.hpp"
+#include "h2priv/util/bytes.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counters (single-threaded bench; plain counters).
+namespace {
+std::uint64_t g_allocs = 0;
+std::uint64_t g_alloc_bytes = 0;
+}  // namespace
+
+__attribute__((noinline)) void* operator new(std::size_t n) {
+  ++g_allocs;
+  g_alloc_bytes += n;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+__attribute__((noinline)) void* operator new[](std::size_t n) { return ::operator new(n); }
+__attribute__((noinline)) void* operator new(std::size_t n, std::align_val_t a) {
+  ++g_allocs;
+  g_alloc_bytes += n;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(a),
+                                   (n + static_cast<std::size_t>(a) - 1) &
+                                       ~(static_cast<std::size_t>(a) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+__attribute__((noinline)) void* operator new[](std::size_t n, std::align_val_t a) { return ::operator new(n, a); }
+__attribute__((noinline)) void operator delete(void* p) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete[](void* p) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace h2priv {
+namespace {
+
+struct ScenarioResult {
+  double wall_s = 0.0;
+  std::uint64_t app_bytes = 0;
+  std::uint64_t packets = 0;     // first-hop packets, both directions
+  std::uint64_t allocs = 0;      // operator new calls during the drive loop
+  std::uint64_t alloc_bytes = 0;
+  std::uint64_t events = 0;
+
+  [[nodiscard]] double bytes_per_s() const {
+    return wall_s > 0 ? static_cast<double>(app_bytes) / wall_s : 0.0;
+  }
+  [[nodiscard]] double packets_per_s() const {
+    return wall_s > 0 ? static_cast<double>(packets) / wall_s : 0.0;
+  }
+  [[nodiscard]] double allocs_per_packet() const {
+    return packets > 0 ? static_cast<double>(allocs) / static_cast<double>(packets) : 0.0;
+  }
+};
+
+ScenarioResult run_scenario(bool mitm, std::uint64_t total_bytes, std::uint64_t seed) {
+  sim::Simulator sim;
+  sim::Rng rng(seed);
+
+  tcp::TcpConfig ccfg;
+  ccfg.local_port = 49'152;
+  ccfg.remote_port = 443;
+  tcp::TcpConfig scfg;
+  scfg.local_port = 443;
+  scfg.remote_port = 49'152;
+  tcp::Connection client_tcp(sim, ccfg, nullptr);
+  tcp::Connection server_tcp(sim, scfg, nullptr);
+
+  net::LinkConfig hop;
+  hop.propagation = util::milliseconds(2);
+  hop.rate = util::gigabits_per_second(10);
+  hop.jitter_sigma = util::Duration{0};
+  hop.loss_probability = 0.0;
+
+  net::Middlebox middlebox(sim);
+  std::unique_ptr<core::TrafficMonitor> monitor;
+  std::unique_ptr<net::Link> c2m, m2s, s2m, m2c;
+
+  if (mitm) {
+    c2m = std::make_unique<net::Link>(sim, hop, rng.fork(), [&](net::Packet&& p) {
+      middlebox.process(net::Direction::kClientToServer, std::move(p));
+    });
+    m2s = std::make_unique<net::Link>(
+        sim, hop, rng.fork(), [&](net::Packet&& p) { server_tcp.on_wire(p.segment); });
+    s2m = std::make_unique<net::Link>(sim, hop, rng.fork(), [&](net::Packet&& p) {
+      middlebox.process(net::Direction::kServerToClient, std::move(p));
+    });
+    m2c = std::make_unique<net::Link>(
+        sim, hop, rng.fork(), [&](net::Packet&& p) { client_tcp.on_wire(p.segment); });
+    middlebox.set_output(net::Direction::kClientToServer,
+                         [&](net::Packet&& p) { m2s->send(std::move(p)); });
+    middlebox.set_output(net::Direction::kServerToClient,
+                         [&](net::Packet&& p) { m2c->send(std::move(p)); });
+    monitor = std::make_unique<core::TrafficMonitor>(middlebox);
+  } else {
+    c2m = std::make_unique<net::Link>(
+        sim, hop, rng.fork(), [&](net::Packet&& p) { server_tcp.on_wire(p.segment); });
+    s2m = std::make_unique<net::Link>(
+        sim, hop, rng.fork(), [&](net::Packet&& p) { client_tcp.on_wire(p.segment); });
+  }
+
+  client_tcp.set_segment_out([&](auto wire) {
+    c2m->send(net::Packet{0, net::Direction::kClientToServer, std::move(wire)});
+  });
+  server_tcp.set_segment_out([&](auto wire) {
+    s2m->send(net::Packet{0, net::Direction::kServerToClient, std::move(wire)});
+  });
+
+  const std::uint64_t secret = seed * 0x9e3779b97f4a7c15ull + 17;
+  tls::Session client_tls(tls::Role::kClient, secret, client_tcp);
+  tls::Session server_tls(tls::Role::kServer, secret, server_tcp);
+
+  const util::Bytes chunk = util::patterned_bytes(64 * 1024, 0xf00du);
+  std::uint64_t remaining = total_bytes;
+  std::uint64_t received = 0;
+
+  const auto pump = [&] {
+    while (remaining > 0) {
+      const std::int64_t cap = server_tls.app_send_capacity();
+      if (cap < static_cast<std::int64_t>(chunk.size())) break;
+      const std::size_t n =
+          static_cast<std::size_t>(std::min<std::uint64_t>(remaining, chunk.size()));
+      (void)server_tls.send_app(util::BytesView(chunk.data(), n));
+      remaining -= n;
+    }
+  };
+  server_tls.on_established = pump;
+  server_tls.on_writable = pump;
+  client_tls.on_app_data = [&](util::BytesView bytes) { received += bytes.size(); };
+
+  server_tcp.listen();
+  client_tcp.connect();
+
+  const std::uint64_t allocs_before = g_allocs;
+  const std::uint64_t alloc_bytes_before = g_alloc_bytes;
+  const auto t0 = std::chrono::steady_clock::now();
+  while (received < total_bytes && sim.step()) {
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ScenarioResult r;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.app_bytes = received;
+  r.packets = c2m->stats().sent + s2m->stats().sent;
+  r.allocs = g_allocs - allocs_before;
+  r.alloc_bytes = g_alloc_bytes - alloc_bytes_before;
+  r.events = sim.executed();
+  if (received < total_bytes) {
+    std::fprintf(stderr, "warning: scenario stalled at %llu / %llu bytes\n",
+                 static_cast<unsigned long long>(received),
+                 static_cast<unsigned long long>(total_bytes));
+  }
+  return r;
+}
+
+void print_row(const char* name, const ScenarioResult& r) {
+  std::printf("%-8s | %8.2f MiB | %7.3f s | %9.2f MiB/s | %8.0f pkt/s | %6.2f allocs/pkt\n",
+              name, static_cast<double>(r.app_bytes) / (1024.0 * 1024.0), r.wall_s,
+              r.bytes_per_s() / (1024.0 * 1024.0), r.packets_per_s(), r.allocs_per_packet());
+}
+
+}  // namespace
+}  // namespace h2priv
+
+int main(int argc, char** argv) {
+  using namespace h2priv;
+  std::uint64_t mib = 32;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mb") == 0 && i + 1 < argc) {
+      mib = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (i == 1) {
+      const long long n = std::atoll(argv[i]);
+      if (n > 0) mib = static_cast<std::uint64_t>(n);
+    }
+  }
+  const std::uint64_t total = mib * 1024 * 1024;
+
+  std::printf("==========================================================================\n");
+  std::printf("stack_throughput — end-to-end wire-path speed (%llu MiB per scenario)\n",
+              static_cast<unsigned long long>(mib));
+  std::printf("==========================================================================\n");
+
+  const ScenarioResult direct = run_scenario(/*mitm=*/false, total, /*seed=*/7);
+  const ScenarioResult mitm = run_scenario(/*mitm=*/true, total, /*seed=*/7);
+  print_row("direct", direct);
+  print_row("mitm", mitm);
+
+  std::printf("BENCH_JSON {\"name\":\"stack_throughput\",\"runs\":2,\"jobs\":1,"
+              "\"wall_s\":%.3f,\"batch_wall_s\":%.3f,\"events\":%llu,"
+              "\"events_per_s\":%.5g,\"metrics\":{"
+              "\"mib\":%llu,"
+              "\"direct_bytes_per_s\":%.6g,\"direct_pkts_per_s\":%.6g,"
+              "\"direct_allocs_per_pkt\":%.4f,"
+              "\"mitm_bytes_per_s\":%.6g,\"mitm_pkts_per_s\":%.6g,"
+              "\"mitm_allocs_per_pkt\":%.4f}}\n",
+              direct.wall_s + mitm.wall_s, direct.wall_s + mitm.wall_s,
+              static_cast<unsigned long long>(direct.events + mitm.events),
+              static_cast<double>(direct.events + mitm.events) /
+                  std::max(1e-9, direct.wall_s + mitm.wall_s),
+              static_cast<unsigned long long>(mib), direct.bytes_per_s(),
+              direct.packets_per_s(), direct.allocs_per_packet(), mitm.bytes_per_s(),
+              mitm.packets_per_s(), mitm.allocs_per_packet());
+  return 0;
+}

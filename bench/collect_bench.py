@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Runs the bench suite and aggregates the BENCH_JSON lines into one file.
+
+Every bench binary prints a machine-readable `BENCH_JSON {...}` line on
+exit (see bench/bench_common.hpp). This script runs a configurable subset
+of them, harvests those lines, and writes `BENCH_<YYYY-MM-DD>.json` at the
+repo root so the perf trajectory accumulates across PRs.
+
+Usage:
+    bench/collect_bench.py [--build-dir build] [--out DIR] [--quick]
+
+--quick trims run counts so the whole sweep stays under ~a minute; the
+default profile matches what the figures/tables in EXPERIMENTS.md use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# (binary, default args, quick args). Order is the order they run.
+BENCHES = [
+    ("bench_stack_throughput", ["--mb", "32"], ["--mb", "8"]),
+    ("bench_micro_protocol", [], []),
+    ("bench_table1_jitter", ["50", "--jobs", "2"], ["5", "--jobs", "2"]),
+    ("bench_fig3_interleaving", ["50", "--jobs", "2"], ["5", "--jobs", "2"]),
+]
+
+MARKER = "BENCH_JSON "
+
+
+def harvest(binary: pathlib.Path, args: list[str]) -> dict | None:
+    """Runs one bench and returns its parsed BENCH_JSON payload."""
+    proc = subprocess.run(
+        [str(binary), *args], capture_output=True, text=True, cwd=REPO_ROOT
+    )
+    if proc.returncode != 0:
+        print(f"error: {binary.name} exited {proc.returncode}", file=sys.stderr)
+        print(proc.stderr, file=sys.stderr)
+        return None
+    for line in reversed(proc.stdout.splitlines()):
+        if line.startswith(MARKER):
+            return json.loads(line[len(MARKER):])
+    print(f"error: {binary.name} printed no BENCH_JSON line", file=sys.stderr)
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build", help="CMake build directory")
+    parser.add_argument("--out", default=str(REPO_ROOT), help="output directory")
+    parser.add_argument("--quick", action="store_true", help="small run counts")
+    ns = parser.parse_args()
+
+    bench_dir = (REPO_ROOT / ns.build_dir / "bench").resolve()
+    if not bench_dir.is_dir():
+        print(f"error: {bench_dir} not found (build first)", file=sys.stderr)
+        return 1
+
+    records = []
+    for name, full_args, quick_args in BENCHES:
+        binary = bench_dir / name
+        if not binary.exists():
+            print(f"skip: {name} (not built)", file=sys.stderr)
+            continue
+        args = quick_args if ns.quick else full_args
+        print(f"running {name} {' '.join(args)} ...", flush=True)
+        payload = harvest(binary, args)
+        if payload is None:
+            return 1
+        records.append(payload)
+
+    stamp = datetime.date.today().isoformat()
+    out_path = pathlib.Path(ns.out) / f"BENCH_{stamp}.json"
+    out_path.write_text(
+        json.dumps({"date": stamp, "benches": records}, indent=2) + "\n"
+    )
+    print(f"wrote {out_path} ({len(records)} benches)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

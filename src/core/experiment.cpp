@@ -89,11 +89,11 @@ RunResult run_once(const RunConfig& config) {
   // NOTE: tcp::Connection exposes the sink only at construction, so the
   // connections are constructed with null sinks above and rewired here via
   // set_segment_out().
-  client_tcp.set_segment_out([&](util::Bytes wire) {
+  client_tcp.set_segment_out([&](util::SharedBytes wire) {
     link_c2m.send(net::Packet{++next_packet_id, net::Direction::kClientToServer,
                               std::move(wire)});
   });
-  server_tcp.set_segment_out([&](util::Bytes wire) {
+  server_tcp.set_segment_out([&](util::SharedBytes wire) {
     link_s2m.send(net::Packet{++next_packet_id, net::Direction::kServerToClient,
                               std::move(wire)});
   });
@@ -116,6 +116,12 @@ RunResult run_once(const RunConfig& config) {
                           truth.get());
   client::Browser browser(sim, site.site, plan.plan, config.browser, client_tls,
                           browser_rng.fork());
+
+  if (config.packet_tap) {
+    middlebox.add_tap([&config](net::Direction d, const net::Packet& p, util::TimePoint) {
+      config.packet_tap(d, p);
+    });
+  }
 
   // --- adversary --------------------------------------------------------------
   TrafficMonitor monitor(middlebox);

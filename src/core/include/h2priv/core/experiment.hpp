@@ -8,12 +8,14 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "h2priv/analysis/ground_truth.hpp"
+#include "h2priv/net/packet.hpp"
 #include "h2priv/client/browser.hpp"
 #include "h2priv/core/attack.hpp"
 #include "h2priv/core/predictor.hpp"
@@ -73,6 +75,11 @@ struct RunConfig {
   /// When non-empty, write <prefix>_packets.csv, <prefix>_records.csv and
   /// <prefix>_ground_truth.csv at the end of the run (analysis::trace_export).
   std::string trace_export_prefix;
+
+  /// Observer for every packet entering the middlebox (both directions, in
+  /// arrival order, before any drop decision). Used by the golden-trace
+  /// regression tests to hash the exact wire bytes of a seeded run.
+  std::function<void(net::Direction, const net::Packet&)> packet_tap;
 };
 
 struct ObjectOutcome {

@@ -68,9 +68,20 @@ void Connection::start() {
   }
 }
 
+WireSpan Connection::write_data(std::uint32_t stream_id, util::BytesView payload,
+                                bool end_stream) {
+  frame_scratch_.clear();
+  encode_data_into(frame_scratch_, stream_id, payload, end_stream, 0);
+  const WireSpan span = out_(frame_scratch_.view());
+  ++stats_.frames_sent;
+  if (on_frame_sent) on_frame_sent(stream_id, FrameType::kData, span);
+  return span;
+}
+
 WireSpan Connection::write_frame(const Frame& f) {
-  const util::Bytes wire = encode_frame(f);
-  const WireSpan span = out_(wire);
+  frame_scratch_.clear();
+  encode_frame_into(frame_scratch_, f);
+  const WireSpan span = out_(frame_scratch_.view());
   ++stats_.frames_sent;
   if (on_frame_sent) on_frame_sent(frame_stream_id(f), frame_type(f), span);
   return span;
@@ -185,7 +196,7 @@ void Connection::send_data(std::uint32_t stream_id, util::BytesView data, bool e
   if (!s.can_send_data()) {
     throw std::logic_error("send_data in state " + std::string(to_string(s.state)));
   }
-  s.pending.insert(s.pending.end(), data.begin(), data.end());
+  s.pending.append(data);
   if (end_stream) s.pending_end_stream = true;
   flush_stream_pending(s);
 }
@@ -199,18 +210,20 @@ void Connection::flush_stream_pending(Stream& s) {
                                 static_cast<std::int64_t>(max_frame), s.send_window,
                                 conn_send_window_});
     if (allowed <= 0) break;
-    DataFrame df;
-    df.stream_id = s.id;
-    df.data.assign(s.pending.begin(), s.pending.begin() + static_cast<std::ptrdiff_t>(allowed));
-    s.pending.erase(s.pending.begin(), s.pending.begin() + static_cast<std::ptrdiff_t>(allowed));
-    df.end_stream = s.pending.empty() && s.pending_end_stream;
+    // Encode straight from the queue's contiguous front — no DataFrame, no
+    // per-frame body copy. The view stays valid until the next append(),
+    // which cannot happen inside write_data().
+    const util::BytesView payload = s.pending.front(static_cast<std::size_t>(allowed));
+    const bool end_stream =
+        s.pending.size() == static_cast<std::size_t>(allowed) && s.pending_end_stream;
     s.send_window -= allowed;
     conn_send_window_ -= allowed;
     s.data_bytes_sent += static_cast<std::uint64_t>(allowed);
     stats_.data_bytes_sent += static_cast<std::uint64_t>(allowed);
     ++stats_.data_frames_sent;
-    if (df.end_stream) s.end_local();
-    write_frame(df);
+    if (end_stream) s.end_local();
+    write_data(s.id, payload, end_stream);
+    s.pending.pop(static_cast<std::size_t>(allowed));
     if (s.pending.empty()) drained_now = true;
   }
   // END_STREAM on an empty tail (e.g. zero-length body or end after flush).

@@ -44,6 +44,9 @@ namespace {
 
 void write_header(util::ByteWriter& w, std::uint32_t length, FrameType type,
                   std::uint8_t flags, std::uint32_t stream_id) {
+  // Every encoder computes its exact payload length before writing, so one
+  // reservation here sizes the whole frame — no growth mid-encode.
+  w.reserve(kFrameHeaderBytes + length);
   w.u24(length);
   w.u8(static_cast<std::uint8_t>(type));
   w.u8(flags);
@@ -61,20 +64,29 @@ FrameHeader read_header(util::ByteReader& r) {
   return h;
 }
 
+}  // namespace
+
+void encode_data_into(util::ByteWriter& w, std::uint32_t stream_id, util::BytesView data,
+                      bool end_stream, std::uint8_t pad_length) {
+  std::uint8_t flags = end_stream ? kFlagEndStream : 0;
+  std::uint32_t length = util::narrow<std::uint32_t>(data.size());
+  if (pad_length > 0) {
+    flags |= kFlagPadded;
+    length += 1u + pad_length;
+  }
+  write_header(w, length, FrameType::kData, flags, stream_id);
+  if (pad_length > 0) w.u8(pad_length);
+  w.bytes(data);
+  if (pad_length > 0) w.fill(pad_length, 0);
+}
+
+namespace {
+
 struct Encoder {
-  util::ByteWriter w;
+  util::ByteWriter& w;
 
   void operator()(const DataFrame& f) {
-    std::uint8_t flags = f.end_stream ? kFlagEndStream : 0;
-    std::uint32_t length = util::narrow<std::uint32_t>(f.data.size());
-    if (f.pad_length > 0) {
-      flags |= kFlagPadded;
-      length += 1u + f.pad_length;
-    }
-    write_header(w, length, FrameType::kData, flags, f.stream_id);
-    if (f.pad_length > 0) w.u8(f.pad_length);
-    w.bytes(f.data);
-    if (f.pad_length > 0) w.fill(f.pad_length, 0);
+    encode_data_into(w, f.stream_id, f.data, f.end_stream, f.pad_length);
   }
 
   void operator()(const HeadersFrame& f) {
@@ -299,26 +311,29 @@ std::uint32_t frame_stream_id(const Frame& f) noexcept {
       f);
 }
 
+void encode_frame_into(util::ByteWriter& w, const Frame& f) {
+  std::visit(Encoder{w}, f);
+}
+
 util::Bytes encode_frame(const Frame& f) {
-  Encoder enc;
-  std::visit(enc, f);
-  return enc.w.take();
+  util::ByteWriter w;
+  encode_frame_into(w, f);
+  return w.take();
 }
 
 std::optional<Frame> FrameDecoder::next() {
   if (buf_.size() < kFrameHeaderBytes) return std::nullopt;
-  util::ByteReader header_reader(util::BytesView(buf_.data(), kFrameHeaderBytes));
+  util::ByteReader header_reader(buf_.front(kFrameHeaderBytes));
   const FrameHeader h = read_header(header_reader);
   if (h.length > max_frame_size_) {
     throw FrameError("frame length " + std::to_string(h.length) + " exceeds max frame size");
   }
   if (buf_.size() < kFrameHeaderBytes + h.length) return std::nullopt;
-  util::ByteReader payload_reader(
-      util::BytesView(buf_.data() + kFrameHeaderBytes, h.length));
+  const util::BytesView whole = buf_.front(kFrameHeaderBytes + h.length);
+  util::ByteReader payload_reader(whole.subspan(kFrameHeaderBytes));
   Frame frame = decode_payload(h, payload_reader);
   if (!payload_reader.done()) throw FrameError("trailing bytes in frame payload");
-  buf_.erase(buf_.begin(),
-             buf_.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes + h.length));
+  buf_.pop(kFrameHeaderBytes + h.length);
   return frame;
 }
 

@@ -124,12 +124,14 @@ class Connection {
   Stream& require_stream(std::uint32_t id);
   Stream& ensure_remote_stream(std::uint32_t id);
   void flush_stream_pending(Stream& s);
+  WireSpan write_data(std::uint32_t stream_id, util::BytesView payload, bool end_stream);
   void drain_blocked_streams();
   void grant_receive_credit(Stream* s, std::size_t consumed);
 
   Role role_;
   ConnectionConfig config_;
   ByteSink out_;
+  util::ByteWriter frame_scratch_;  // reused across write_frame calls
   FrameDecoder decoder_;
   hpack::Encoder hpack_encoder_;
   hpack::Decoder hpack_decoder_;

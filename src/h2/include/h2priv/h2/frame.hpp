@@ -12,6 +12,7 @@
 #include <variant>
 #include <vector>
 
+#include "h2priv/util/byte_queue.hpp"
 #include "h2priv/util/bytes.hpp"
 
 namespace h2priv::h2 {
@@ -156,13 +157,23 @@ using Frame = std::variant<DataFrame, HeadersFrame, PriorityFrame, RstStreamFram
 /// Encodes a frame (header + payload) into wire bytes.
 [[nodiscard]] util::Bytes encode_frame(const Frame& f);
 
+/// Encodes into a caller-owned writer (reserves the exact frame size).
+/// Lets h2::Connection reuse one scratch buffer for every frame it writes.
+void encode_frame_into(util::ByteWriter& w, const Frame& f);
+
+/// Encodes a DATA frame straight from a borrowed payload view — the hot
+/// body path never materialises a DataFrame (whose `data` member owns a
+/// copy). Bit-identical to encoding the equivalent DataFrame.
+void encode_data_into(util::ByteWriter& w, std::uint32_t stream_id, util::BytesView data,
+                      bool end_stream, std::uint8_t pad_length);
+
 /// Incremental decoder: feed() arbitrary chunks, poll next() for frames.
 class FrameDecoder {
  public:
   explicit FrameDecoder(std::uint32_t max_frame_size = kDefaultMaxFrameSize) noexcept
       : max_frame_size_(max_frame_size) {}
 
-  void feed(util::BytesView bytes) { buf_.insert(buf_.end(), bytes.begin(), bytes.end()); }
+  void feed(util::BytesView bytes) { buf_.append(bytes); }
 
   /// Returns the next complete frame, or nullopt if more bytes are needed.
   /// Throws FrameError on malformed frames.
@@ -173,7 +184,8 @@ class FrameDecoder {
 
  private:
   std::uint32_t max_frame_size_;
-  util::Bytes buf_;
+  util::ByteQueue buf_;  // contiguous: consuming a frame is a pop, not an erase
+
 };
 
 }  // namespace h2priv::h2

@@ -3,8 +3,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
+#include "h2priv/util/byte_queue.hpp"
 #include "h2priv/util/bytes.hpp"
 
 namespace h2priv::h2 {
@@ -31,7 +31,8 @@ struct Stream {
   std::int64_t recv_consumed = 0;  // bytes to return via WINDOW_UPDATE
 
   // Body bytes accepted by send_data but still blocked on flow control.
-  std::deque<std::uint8_t> pending;
+  // Contiguous, so flush can encode DATA frames straight from a view.
+  util::ByteQueue pending;
   bool pending_end_stream = false;
   bool local_end_sent = false;
   bool remote_end_seen = false;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "h2priv/util/buffer_pool.hpp"
 #include "h2priv/util/bytes.hpp"
 
 namespace h2priv::net {
@@ -33,7 +34,11 @@ inline constexpr std::int64_t kIpHeaderBytes = 20;
 struct Packet {
   std::uint64_t id = 0;           ///< globally unique, assigned at first send
   Direction dir = Direction::kClientToServer;
-  util::Bytes segment;            ///< TCP segment in wire format (header + payload)
+  /// TCP segment in wire format (header + payload). Ref-counted and pooled:
+  /// copying a Packet shares the bytes, and the single pooled allocation
+  /// made at segment-encode time survives link -> middlebox -> monitor ->
+  /// receiver without further copies.
+  util::SharedBytes segment;
 
   /// On-the-wire size including IP header (what a link must serialize).
   [[nodiscard]] std::int64_t wire_size() const noexcept {

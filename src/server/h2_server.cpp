@@ -76,12 +76,18 @@ void H2Server::on_request(std::uint32_t stream_id, const hpack::HeaderList& head
   push_mapped_resources(stream_id, path);
 }
 
+util::BytesView H2Server::cached_body(const web::SiteObject& object) {
+  const auto it = body_cache_.find(object.id);
+  if (it != body_cache_.end()) return it->second;
+  return body_cache_.emplace(object.id, object.body()).first->second;
+}
+
 void H2Server::spawn_handler(std::uint32_t stream_id, const web::SiteObject& object,
                              bool duplicate) {
   Handler h;
   h.stream_id = stream_id;
   h.object_id = object.id;
-  h.body = object.body();
+  h.body = cached_body(object);
   if (truth_ != nullptr) {
     h.instance = truth_->register_instance(object.id, stream_id, duplicate);
     stream_instances_[stream_id] = h.instance;

@@ -93,7 +93,10 @@ class H2Server {
     std::uint32_t stream_id = 0;
     web::ObjectId object_id = 0;
     analysis::InstanceId instance = 0;
-    util::Bytes body;
+    /// View into the server's per-object body cache (which outlives every
+    /// handler) — re-requests and reset episodes re-serve the same object
+    /// without regenerating or copying its body.
+    util::BytesView body;
     std::size_t offset = 0;
     bool started = false;       // dispatch latency elapsed
     bool headers_sent = false;  // emitted with the first body write
@@ -118,7 +121,13 @@ class H2Server {
   sim::Rng rng_;
   analysis::GroundTruth* truth_;
   std::unique_ptr<h2::Connection> conn_;
+  [[nodiscard]] util::BytesView cached_body(const web::SiteObject& object);
+
   std::map<std::uint32_t, Handler> handlers_;  // keyed by stream id
+  /// Generated-once object bodies (deterministic, so caching cannot change
+  /// wire bytes). Never erased: handler views must stay valid for the
+  /// connection's lifetime.
+  std::map<web::ObjectId, util::Bytes> body_cache_;
   std::map<web::ObjectId, int> serve_counts_;  // duplicate detection
   /// Outlives handlers: flow-control drains may land after a handler is gone.
   std::map<std::uint32_t, analysis::InstanceId> stream_instances_;

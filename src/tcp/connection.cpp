@@ -46,11 +46,11 @@ void Connection::connect() {
   if (state_ != State::kClosed) throw std::logic_error("connect(): not CLOSED");
   if (!out_) throw std::logic_error("connect(): segment sink not wired");
   state_ = State::kSynSent;
-  Segment syn;
+  SegmentView syn;
   syn.flags = kFlagSyn;
   syn.seq = 0;
   snd_nxt_ = 1;
-  emit(std::move(syn));
+  emit(syn);
   arm_retx_timer();
 }
 
@@ -97,11 +97,11 @@ void Connection::close() {
 
 void Connection::abort() {
   if (state_ == State::kClosed) return;
-  Segment rst;
+  SegmentView rst;
   rst.flags = kFlagRst | kFlagAck;
   rst.seq = snd_nxt_;
   rst.ack = reassembly_.rcv_nxt() + (peer_fin_consumed_ ? 1 : 0);
-  emit(std::move(rst));
+  emit(rst);
   finish(CloseReason::kReset);
 }
 
@@ -117,7 +117,7 @@ std::uint64_t Connection::effective_window() const noexcept {
   return std::min<std::uint64_t>(wnd, rwnd_peer_);
 }
 
-void Connection::emit(Segment&& s) {
+void Connection::emit(SegmentView s) {
   s.src_port = config_.local_port;
   s.dst_port = config_.remote_port;
   s.window = advertised_window();
@@ -126,11 +126,16 @@ void Connection::emit(Segment&& s) {
     ++stats_.data_segments_sent;
     stats_.payload_bytes_sent += s.payload.size();
   }
-  out_(s.encode());
+  // One pooled chunk per segment: header + payload serialise straight into
+  // it, and the chunk rides the Packet all the way to the receiving
+  // endpoint before returning to this thread's pool.
+  util::ByteWriter w(util::default_pool(), kHeaderBytes + s.payload.size());
+  encode_segment(w, s);
+  out_(w.take_shared());
 }
 
 void Connection::send_ack(bool duplicate) {
-  Segment ack;
+  SegmentView ack;
   ack.flags = kFlagAck;
   ack.seq = snd_nxt_;
   ack.ack = reassembly_.rcv_nxt() + (peer_fin_consumed_ ? 1 : 0);
@@ -141,7 +146,7 @@ void Connection::send_ack(bool duplicate) {
     sim_.cancel(delack_timer_);
     delack_timer_ = {};
   }
-  emit(std::move(ack));
+  emit(ack);
 }
 
 void Connection::flush_delayed_ack() {
@@ -200,31 +205,31 @@ void Connection::pump() {
           send_buf_.end() - next_offset == n && !fin_queued_) {
         break;
       }
-      Segment seg;
+      SegmentView seg;
       seg.flags = kFlagAck;
       seg.seq = snd_nxt_;
       seg.ack = reassembly_.rcv_nxt() + (peer_fin_consumed_ ? 1 : 0);
-      seg.payload = send_buf_.read(next_offset, n);
+      seg.payload = send_buf_.read_view(next_offset, n);
       if (!timing_active_) {
         timing_active_ = true;
         timed_end_seq_ = snd_nxt_ + n;
         timed_at_ = sim_.now();
       }
       snd_nxt_ += n;
-      emit(std::move(seg));
+      emit(seg);
       last_send_activity_ = sim_.now();
       sent_any = true;
       continue;
     }
     // All data transmitted; maybe the FIN goes out now.
     if (fin_queued_ && !fin_sent_) {
-      Segment fin;
+      SegmentView fin;
       fin.flags = kFlagFin | kFlagAck;
       fin.seq = snd_nxt_;
       fin.ack = reassembly_.rcv_nxt() + (peer_fin_consumed_ ? 1 : 0);
       snd_nxt_ += 1;
       fin_sent_ = true;
-      emit(std::move(fin));
+      emit(fin);
       sent_any = true;
     }
     break;
@@ -247,36 +252,36 @@ void Connection::maybe_fire_writable() {
 void Connection::retransmit_head(const char* /*why*/) {
   timing_active_ = false;  // Karn: never time a retransmitted range
   if (state_ == State::kSynSent) {
-    Segment syn;
+    SegmentView syn;
     syn.flags = kFlagSyn;
     syn.seq = 0;
-    emit(std::move(syn));
+    emit(syn);
     return;
   }
   if (state_ == State::kSynRcvd) {
-    Segment synack;
+    SegmentView synack;
     synack.flags = kFlagSyn | kFlagAck;
     synack.seq = 0;
     synack.ack = 1;
-    emit(std::move(synack));
+    emit(synack);
     return;
   }
   const std::uint64_t off = offset_of(std::max<std::uint64_t>(snd_una_, 1));
   if (off < send_buf_.end()) {
     const std::size_t n = static_cast<std::size_t>(
         std::min<std::uint64_t>(config_.mss, send_buf_.end() - off));
-    Segment seg;
+    SegmentView seg;
     seg.flags = kFlagAck;
     seg.seq = seq_of(off);
     seg.ack = reassembly_.rcv_nxt() + (peer_fin_consumed_ ? 1 : 0);
-    seg.payload = send_buf_.read(off, n);
-    emit(std::move(seg));
+    seg.payload = send_buf_.read_view(off, n);
+    emit(seg);
   } else if (fin_sent_ && snd_una_ <= fin_seq()) {
-    Segment fin;
+    SegmentView fin;
     fin.flags = kFlagFin | kFlagAck;
     fin.seq = fin_seq();
     fin.ack = reassembly_.rcv_nxt() + (peer_fin_consumed_ ? 1 : 0);
-    emit(std::move(fin));
+    emit(fin);
   }
 }
 
@@ -307,10 +312,10 @@ void Connection::on_retx_timeout() {
   ++retries_;
   if (retries_ > config_.max_retries) {
     // The path is effectively dead: this is the paper's "broken connection".
-    Segment rst;
+    SegmentView rst;
     rst.flags = kFlagRst;
     rst.seq = snd_nxt_;
-    emit(std::move(rst));
+    emit(rst);
     finish(CloseReason::kBroken);
     return;
   }
@@ -343,7 +348,7 @@ void Connection::finish(CloseReason reason) {
 
 void Connection::on_wire(util::BytesView wire) {
   if (state_ == State::kClosed) return;
-  Segment s = Segment::decode(wire);
+  const SegmentView s = peek(wire);
   ++stats_.segments_received;
 
   if (s.rst()) {
@@ -356,12 +361,12 @@ void Connection::on_wire(util::BytesView wire) {
       if (s.syn() && !s.has_ack()) {
         peer_syn_seen_ = true;
         state_ = State::kSynRcvd;
-        Segment synack;
+        SegmentView synack;
         synack.flags = kFlagSyn | kFlagAck;
         synack.seq = 0;
         synack.ack = 1;
         snd_nxt_ = 1;
-        emit(std::move(synack));
+        emit(synack);
         arm_retx_timer();
       }
       return;
@@ -401,7 +406,7 @@ void Connection::on_wire(util::BytesView wire) {
   }
 }
 
-void Connection::handle_ack(const Segment& s) {
+void Connection::handle_ack(const SegmentView& s) {
   if (!s.has_ack()) return;
   rwnd_peer_ = s.window;
 
@@ -486,7 +491,7 @@ void Connection::handle_ack(const Segment& s) {
   }
 }
 
-void Connection::handle_data(const Segment& s) {
+void Connection::handle_data(const SegmentView& s) {
   if (!peer_syn_seen_ && state_ != State::kEstablished) return;
 
   bool consumed_something = false;
@@ -494,11 +499,20 @@ void Connection::handle_data(const Segment& s) {
 
   if (!s.payload.empty()) {
     out_of_order = s.seq > reassembly_.rcv_nxt();
-    const util::Bytes delivered = reassembly_.offer(s.seq, s.payload);
     consumed_something = true;
-    if (!delivered.empty()) {
-      delivered_ += delivered.size();
-      if (on_data) on_data(delivered);
+    // In-order segments (the steady state) are delivered as a view into the
+    // packet's pooled buffer — no copy, no reassembly-map churn.
+    if (const auto fast = reassembly_.offer_in_order(s.seq, s.payload)) {
+      if (!fast->empty()) {
+        delivered_ += fast->size();
+        if (on_data) on_data(*fast);
+      }
+    } else {
+      const util::Bytes delivered = reassembly_.offer(s.seq, s.payload);
+      if (!delivered.empty()) {
+        delivered_ += delivered.size();
+        if (on_data) on_data(delivered);
+      }
     }
   }
 

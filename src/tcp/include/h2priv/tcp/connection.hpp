@@ -18,6 +18,7 @@
 #include "h2priv/tcp/rto.hpp"
 #include "h2priv/tcp/segment.hpp"
 #include "h2priv/tcp/send_buffer.hpp"
+#include "h2priv/util/buffer_pool.hpp"
 #include "h2priv/util/bytes.hpp"
 
 namespace h2priv::tcp {
@@ -90,8 +91,9 @@ struct TcpStats {
 
 class Connection {
  public:
-  /// Receives an encoded segment ready for the wire.
-  using SegmentOut = std::function<void(util::Bytes)>;
+  /// Receives an encoded segment ready for the wire. The buffer is pooled
+  /// and ref-counted; holders may keep it past the callback at no cost.
+  using SegmentOut = std::function<void(util::SharedBytes)>;
 
   /// `out` may be null at construction (topology wiring cycles); it must be
   /// set via set_segment_out() before connect()/listen().
@@ -146,7 +148,7 @@ class Connection {
   [[nodiscard]] std::uint64_t seq_of(std::uint64_t offset) const noexcept { return offset + 1; }
   [[nodiscard]] std::uint64_t fin_seq() const noexcept { return seq_of(send_buf_.end()); }
 
-  void emit(Segment&& s);
+  void emit(SegmentView s);
   void send_ack(bool duplicate);
   void ack_received_data(bool out_of_order);
   void flush_delayed_ack();
@@ -155,8 +157,8 @@ class Connection {
   void arm_retx_timer();
   void cancel_retx_timer();
   void on_retx_timeout();
-  void handle_ack(const Segment& s);
-  void handle_data(const Segment& s);
+  void handle_ack(const SegmentView& s);
+  void handle_data(const SegmentView& s);
   void enter_established();
   void finish(CloseReason reason);
   [[nodiscard]] std::uint32_t advertised_window() const noexcept;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 
 #include "h2priv/util/bytes.hpp"
 
@@ -17,6 +18,23 @@ class Reassembly {
  public:
   explicit Reassembly(std::uint64_t initial_rcv_nxt = 0) noexcept
       : rcv_nxt_(initial_rcv_nxt) {}
+
+  /// Zero-copy fast path for the common in-order case: with nothing
+  /// buffered, a segment at or below rcv_nxt is consumed in place —
+  /// rcv_nxt advances and the deliverable tail is returned as a view into
+  /// `data` (empty for a pure duplicate). Returns nullopt when the segment
+  /// needs the buffering slow path (gap ahead, or out-of-order segments
+  /// pending); the caller must then use offer(). Delivers byte-for-byte
+  /// what offer() would for the same input.
+  [[nodiscard]] std::optional<util::BytesView> offer_in_order(
+      std::uint64_t seq, util::BytesView data) noexcept {
+    if (!segments_.empty() || seq > rcv_nxt_) return std::nullopt;
+    const std::uint64_t seg_end = seq + data.size();
+    if (seg_end <= rcv_nxt_) return util::BytesView{};  // already delivered
+    const auto skip = static_cast<std::size_t>(rcv_nxt_ - seq);
+    rcv_nxt_ = seg_end;
+    return data.subspan(skip);
+  }
 
   /// Offers a segment at absolute stream offset `seq`. Returns the bytes that
   /// became deliverable in order (possibly empty).

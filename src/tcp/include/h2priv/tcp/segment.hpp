@@ -53,6 +53,11 @@ struct Segment {
 /// Parses only the header of an encoded segment — what an on-path observer
 /// does. Returns the header fields and the payload view (still "encrypted"
 /// at the TLS layer; the observer may parse TLS record headers from it).
+///
+/// Also doubles as the zero-copy *encode* input: tcp::Connection fills the
+/// header fields and points `payload` at the send buffer, then
+/// encode_segment() serialises straight into a pooled writer — the payload
+/// is never copied into an owning Segment on the transmit path.
 struct SegmentView {
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
@@ -61,7 +66,21 @@ struct SegmentView {
   std::uint8_t flags = 0;
   std::uint32_t window = 0;
   util::BytesView payload;
+
+  [[nodiscard]] bool syn() const noexcept { return (flags & kFlagSyn) != 0; }
+  [[nodiscard]] bool has_ack() const noexcept { return (flags & kFlagAck) != 0; }
+  [[nodiscard]] bool fin() const noexcept { return (flags & kFlagFin) != 0; }
+  [[nodiscard]] bool rst() const noexcept { return (flags & kFlagRst) != 0; }
+
+  /// Sequence space the segment occupies (payload + SYN/FIN each count 1).
+  [[nodiscard]] std::uint64_t seq_len() const noexcept {
+    return payload.size() + (syn() ? 1u : 0u) + (fin() ? 1u : 0u);
+  }
 };
 [[nodiscard]] SegmentView peek(util::BytesView wire);
+
+/// Serialises header + payload into `w` with the exact wire size reserved.
+/// Byte-for-byte identical to Segment::encode() for the same fields.
+void encode_segment(util::ByteWriter& w, const SegmentView& s);
 
 }  // namespace h2priv::tcp

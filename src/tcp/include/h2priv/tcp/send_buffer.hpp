@@ -1,9 +1,17 @@
 // Sender-side byte stream: application bytes keyed by absolute stream
 // offset, with retransmission reads anywhere in the unacknowledged range.
+//
+// Storage is a single contiguous buffer with a dead-byte prefix: ack()
+// just advances the prefix (O(1)) and append() reclaims it by sliding the
+// live bytes down once the prefix is at least as large as the live region
+// (amortized O(1) per appended byte — each byte is memmoved at most once
+// per time it is acked). Keeping the live region contiguous is what lets
+// read_view() hand out zero-copy slices at any offset, which in turn keeps
+// segment boundaries — and therefore the wire bytes — identical to the old
+// deque implementation.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "h2priv/util/bytes.hpp"
 
@@ -14,22 +22,31 @@ class SendBuffer {
   /// Appends application bytes; returns the stream offset of the first byte.
   std::uint64_t append(util::BytesView data);
 
-  /// Copies up to `max_len` bytes starting at stream offset `offset`.
+  /// Zero-copy slice of up to `max_len` bytes starting at stream offset
+  /// `offset`. The view is valid until the next append() (which may compact
+  /// or reallocate the storage); ack() does not invalidate it.
   /// Throws std::out_of_range if offset is below the acked watermark or past
   /// the end of enqueued data.
+  [[nodiscard]] util::BytesView read_view(std::uint64_t offset,
+                                          std::size_t max_len) const;
+
+  /// Copying variant of read_view() (kept for tests and non-hot callers).
   [[nodiscard]] util::Bytes read(std::uint64_t offset, std::size_t max_len) const;
 
-  /// Releases bytes below `new_acked` (cumulative ACK advanced).
+  /// Releases bytes below `new_acked` (cumulative ACK advanced). O(1).
   void ack(std::uint64_t new_acked);
 
   [[nodiscard]] std::uint64_t acked() const noexcept { return base_; }
-  [[nodiscard]] std::uint64_t end() const noexcept { return base_ + buf_.size(); }
+  [[nodiscard]] std::uint64_t end() const noexcept { return base_ + live(); }
   /// Bytes enqueued and not yet acknowledged.
-  [[nodiscard]] std::uint64_t outstanding() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::uint64_t outstanding() const noexcept { return live(); }
 
  private:
-  std::uint64_t base_ = 0;          // stream offset of buf_[0]
-  std::deque<std::uint8_t> buf_;    // unacked + unsent bytes
+  [[nodiscard]] std::size_t live() const noexcept { return buf_.size() - head_; }
+
+  std::uint64_t base_ = 0;  // stream offset of buf_[head_]
+  std::size_t head_ = 0;    // acked (dead) bytes still occupying the front
+  util::Bytes buf_;         // dead prefix + unacked/unsent bytes
 };
 
 }  // namespace h2priv::tcp

@@ -6,17 +6,28 @@
 
 namespace h2priv::tcp {
 
+void encode_segment(util::ByteWriter& w, const SegmentView& s) {
+  w.reserve(kHeaderBytes + s.payload.size());
+  w.u16(s.src_port);
+  w.u16(s.dst_port);
+  w.u64(s.seq);
+  w.u64(s.ack);
+  w.u8(s.flags);
+  w.u8(0);
+  w.u32(s.window);
+  w.u16(util::narrow<std::uint16_t>(s.payload.size()));
+  w.bytes(s.payload);
+}
+
 util::Bytes Segment::encode() const {
   util::ByteWriter w(kHeaderBytes + payload.size());
-  w.u16(src_port);
-  w.u16(dst_port);
-  w.u64(seq);
-  w.u64(ack);
-  w.u8(flags);
-  w.u8(0);
-  w.u32(window);
-  w.u16(util::narrow<std::uint16_t>(payload.size()));
-  w.bytes(payload);
+  encode_segment(w, SegmentView{.src_port = src_port,
+                                .dst_port = dst_port,
+                                .seq = seq,
+                                .ack = ack,
+                                .flags = flags,
+                                .window = window,
+                                .payload = payload});
   return w.take();
 }
 

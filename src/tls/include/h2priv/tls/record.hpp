@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "h2priv/util/buffer_pool.hpp"
 #include "h2priv/util/bytes.hpp"
 
 namespace h2priv::tls {
@@ -45,12 +46,20 @@ class SealContext {
   /// bytes. Empty plaintext produces a single empty record.
   [[nodiscard]] util::Bytes seal(ContentType type, util::BytesView plaintext);
 
+  /// Same wire bytes as seal(), emitted into a pooled buffer — the hot-path
+  /// variant used by tls::Session (the chunk recycles once the bytes are
+  /// appended to the TCP send buffer).
+  [[nodiscard]] util::SharedBytes seal_shared(ContentType type,
+                                              util::BytesView plaintext);
+
   [[nodiscard]] std::uint64_t records_sealed() const noexcept { return seq_; }
 
   /// Wire overhead added when sealing `n` plaintext bytes in maximal records.
   [[nodiscard]] static std::size_t sealed_size(std::size_t plaintext_len) noexcept;
 
  private:
+  void seal_into(util::ByteWriter& w, ContentType type, util::BytesView plaintext);
+
   std::uint64_t secret_;
   std::uint8_t domain_;
   std::uint64_t seq_ = 0;

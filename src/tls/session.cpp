@@ -39,7 +39,7 @@ void Session::on_transport_established() {
 
 void Session::send_handshake_flight(std::size_t len) {
   const util::Bytes flight = util::patterned_bytes(len, 0x48534b00u);  // 'HSK'
-  tcp_.send(seal_.seal(ContentType::kHandshake, flight));
+  tcp_.send(seal_.seal_shared(ContentType::kHandshake, flight));
 }
 
 void Session::on_transport_data(util::BytesView bytes) {
@@ -108,7 +108,7 @@ void Session::become_established() {
 WireRange Session::send_app(util::BytesView plaintext) {
   if (!established_) throw std::logic_error("tls::Session::send_app before handshake");
   const std::uint64_t begin = tcp_.bytes_enqueued();
-  tcp_.send(seal_.seal(ContentType::kApplicationData, plaintext));
+  tcp_.send(seal_.seal_shared(ContentType::kApplicationData, plaintext));
   app_bytes_sent_ += plaintext.size();
   return WireRange{begin, tcp_.bytes_enqueued()};
 }

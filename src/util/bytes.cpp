@@ -1,40 +1,94 @@
 #include "h2priv/util/bytes.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "h2priv/util/buffer_pool.hpp"
 
 namespace h2priv::util {
 
-void ByteWriter::u16(std::uint16_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v));
+ByteWriter::ByteWriter(BufferPool& pool, std::size_t reserve_bytes) : pool_(&pool) {
+  chunk_ = pool.acquire(std::max<std::size_t>(reserve_bytes, 1));
+  data_ = chunk_->payload();
+  cap_ = chunk_->cap;
+}
+
+ByteWriter::~ByteWriter() {
+  if (chunk_ != nullptr) detail::release_chunk(chunk_);
+}
+
+void ByteWriter::grow(std::size_t need) {
+  const std::size_t want = std::max({len_ + need, cap_ * 2, std::size_t{32}});
+  if (pool_ != nullptr) {
+    detail::ChunkHeader* bigger = pool_->acquire(want);
+    if (len_ > 0) std::memcpy(bigger->payload(), data_, len_);
+    if (chunk_ != nullptr) detail::release_chunk(chunk_);
+    chunk_ = bigger;
+    data_ = bigger->payload();
+    cap_ = bigger->cap;
+  } else {
+    buf_.resize(want);
+    data_ = buf_.data();
+    cap_ = want;
+  }
+}
+
+Bytes ByteWriter::take() {
+  if (pool_ != nullptr) {
+    Bytes out(data_, data_ + len_);
+    len_ = 0;
+    return out;
+  }
+  buf_.resize(len_);
+  Bytes out = std::move(buf_);
+  buf_ = Bytes{};
+  data_ = nullptr;
+  len_ = 0;
+  cap_ = 0;
+  return out;
+}
+
+SharedBytes ByteWriter::take_shared() {
+  if (pool_ != nullptr) {
+    if (chunk_ == nullptr) return SharedBytes{};
+    SharedBytes out = SharedBytes::adopt(chunk_, len_);
+    chunk_ = nullptr;  // next write re-acquires from the pool via grow()
+    data_ = nullptr;
+    len_ = 0;
+    cap_ = 0;
+    return out;
+  }
+  SharedBytes out = SharedBytes::copy_of(view());
+  len_ = 0;
+  return out;
 }
 
 void ByteWriter::u24(std::uint32_t v) {
   if (v >= (1u << 24)) throw std::invalid_argument("u24 value out of range");
-  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v));
-}
-
-void ByteWriter::u32(std::uint32_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
-  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v));
+  ensure(3);
+  data_[len_] = static_cast<std::uint8_t>(v >> 16);
+  data_[len_ + 1] = static_cast<std::uint8_t>(v >> 8);
+  data_[len_ + 2] = static_cast<std::uint8_t>(v);
+  len_ += 3;
 }
 
 void ByteWriter::u64(std::uint64_t v) {
+  ensure(8);
   for (int shift = 56; shift >= 0; shift -= 8) {
-    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+    data_[len_++] = static_cast<std::uint8_t>(v >> shift);
   }
 }
 
 void ByteWriter::bytes(std::string_view v) {
-  buf_.insert(buf_.end(), v.begin(), v.end());
+  ensure(v.size());
+  if (!v.empty()) std::memcpy(data_ + len_, v.data(), v.size());
+  len_ += v.size();
 }
 
 void ByteWriter::fill(std::size_t n, std::uint8_t fill_byte) {
-  buf_.insert(buf_.end(), n, fill_byte);
+  ensure(n);
+  std::memset(data_ + len_, fill_byte, n);
+  len_ += n;
 }
 
 void ByteReader::require(std::size_t n) const {

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -19,6 +20,12 @@ namespace h2priv::util {
 using Bytes = std::vector<std::uint8_t>;
 using BytesView = std::span<const std::uint8_t>;
 
+class BufferPool;
+class SharedBytes;
+namespace detail {
+struct ChunkHeader;
+}
+
 /// Thrown by ByteReader when a read would run past the end of the buffer.
 class OutOfBounds : public std::runtime_error {
  public:
@@ -26,28 +33,76 @@ class OutOfBounds : public std::runtime_error {
 };
 
 /// Appends big-endian scalars and byte runs to an owned buffer.
+///
+/// Two backends share one write path: the default vector backend (take()
+/// moves the Bytes out) and a pool backend (take_shared() hands the chunk
+/// off zero-copy as a SharedBytes). Encoders that know their exact output
+/// size should reserve() it up front so the hot path never grows.
 class ByteWriter {
  public:
   ByteWriter() = default;
-  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  explicit ByteWriter(std::size_t reserve_bytes) { reserve(reserve_bytes); }
+  /// Pool-backed writer; take_shared() is then allocation-free on reuse.
+  ByteWriter(BufferPool& pool, std::size_t reserve_bytes);
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
+  ~ByteWriter();
 
-  void u8(std::uint8_t v) { buf_.push_back(v); }
-  void u16(std::uint16_t v);
+  void u8(std::uint8_t v) {
+    ensure(1);
+    data_[len_++] = v;
+  }
+  void u16(std::uint16_t v) {
+    ensure(2);
+    data_[len_] = static_cast<std::uint8_t>(v >> 8);
+    data_[len_ + 1] = static_cast<std::uint8_t>(v);
+    len_ += 2;
+  }
   void u24(std::uint32_t v);  ///< low 24 bits; throws std::invalid_argument if v >= 2^24
-  void u32(std::uint32_t v);
+  void u32(std::uint32_t v) {
+    ensure(4);
+    for (int i = 0; i < 4; ++i) {
+      data_[len_ + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (24 - 8 * i));
+    }
+    len_ += 4;
+  }
   void u64(std::uint64_t v);
-  void bytes(BytesView v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+  void bytes(BytesView v) {
+    ensure(v.size());
+    if (!v.empty()) std::memcpy(data_ + len_, v.data(), v.size());
+    len_ += v.size();
+  }
   void bytes(std::string_view v);
   /// Appends `n` copies of `fill`.
   void fill(std::size_t n, std::uint8_t fill_byte);
 
-  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
-  [[nodiscard]] const Bytes& view() const noexcept { return buf_; }
+  /// Guarantees room for `n` more bytes without reallocation.
+  void reserve(std::size_t n) { ensure(n); }
+  /// Drops the contents but keeps the storage — for reusable scratch writers.
+  void clear() noexcept { len_ = 0; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return len_; }
+  [[nodiscard]] BytesView view() const noexcept { return {data_, len_}; }
   /// Moves the accumulated buffer out; the writer is empty afterwards.
-  [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
+  /// (Pool-backed writers copy here — use take_shared() on the hot path.)
+  [[nodiscard]] Bytes take();
+  /// Hands the contents off as a SharedBytes; the writer is empty afterwards.
+  /// Zero-copy for pool-backed writers, one copy for vector-backed ones.
+  [[nodiscard]] SharedBytes take_shared();
 
  private:
-  Bytes buf_;
+  void ensure(std::size_t extra) {
+    if (cap_ - len_ < extra) grow(extra);
+  }
+  void grow(std::size_t need);
+
+  BufferPool* pool_ = nullptr;           // nullptr => vector backend
+  Bytes buf_;                            // vector backend storage (size == cap_)
+  detail::ChunkHeader* chunk_ = nullptr; // pool backend storage (refs == 1)
+  std::uint8_t* data_ = nullptr;
+  std::size_t len_ = 0;
+  std::size_t cap_ = 0;
 };
 
 /// Consumes big-endian scalars and byte runs from a non-owned view.

@@ -98,9 +98,9 @@ TEST(Browser, StalledResponseTriggersReRequest) {
   f.start();
   f.stack.run_for(seconds(1));
   auto* link = f.stack.transport.s2c.get();
-  f.stack.transport.server->set_segment_out([](util::Bytes) { /* blackhole */ });
+  f.stack.transport.server->set_segment_out([](util::SharedBytes) { /* blackhole */ });
   f.stack.sim().schedule(seconds(2), [&f, link] {
-    f.stack.transport.server->set_segment_out([link](util::Bytes wire) {
+    f.stack.transport.server->set_segment_out([link](util::SharedBytes wire) {
       link->send(net::Packet{0, net::Direction::kServerToClient, std::move(wire)});
     });
   });
@@ -117,7 +117,7 @@ TEST(Browser, ResetEpisodeAfterExhaustedRerequests) {
   f.stack.run_for(seconds(1));
   // Blackhole the server->client path permanently after the handshake: the
   // browser escalates to reset episodes and finally gives up.
-  f.stack.transport.server->set_segment_out([](util::Bytes) {});
+  f.stack.transport.server->set_segment_out([](util::SharedBytes) {});
   f.stack.run_for(seconds(240));
   EXPECT_GT(f.browser->stats().reset_episodes, 0u);
   EXPECT_TRUE(f.browser->stats().broken);

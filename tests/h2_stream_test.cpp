@@ -68,7 +68,7 @@ TEST(H2Stream, IllegalTransitionsThrow) {
 TEST(H2Stream, ResetClosesAndFlushesPending) {
   Stream s;
   s.open_local(false);
-  s.pending.insert(s.pending.end(), 100, std::uint8_t{0});
+  s.pending.append(util::Bytes(100, std::uint8_t{0}));
   s.reset();
   EXPECT_EQ(s.state, StreamState::kClosed);
   EXPECT_TRUE(s.pending.empty());

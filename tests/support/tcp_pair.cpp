@@ -25,10 +25,10 @@ TcpPair::TcpPair(TcpPairConfig config) {
     client->on_wire(p.segment);
   });
 
-  client->set_segment_out([this](util::Bytes wire) {
+  client->set_segment_out([this](util::SharedBytes wire) {
     c2s->send(net::Packet{0, net::Direction::kClientToServer, std::move(wire)});
   });
-  server->set_segment_out([this](util::Bytes wire) {
+  server->set_segment_out([this](util::SharedBytes wire) {
     s2c->send(net::Packet{0, net::Direction::kServerToClient, std::move(wire)});
   });
 }

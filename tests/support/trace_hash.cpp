@@ -1,0 +1,58 @@
+#include "trace_hash.hpp"
+
+#include <cstring>
+
+namespace h2priv::testing {
+
+void TraceHasher::mix_double(double d) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  mix_u64(bits);
+}
+
+TraceDigest hash_run(core::RunConfig config) {
+  TraceDigest out;
+  TraceHasher wire;
+  config.packet_tap = [&](net::Direction d, const net::Packet& p) {
+    ++out.packets;
+    wire.mix_u8(static_cast<std::uint8_t>(d));
+    wire.mix_bytes(util::BytesView(p.segment));
+  };
+  const core::RunResult r = core::run_once(config);
+  out.wire = wire.digest();
+
+  TraceHasher scored;
+  scored.mix_u64(r.page_complete ? 1 : 0);
+  scored.mix_u64(r.broken ? 1 : 0);
+  scored.mix_double(r.page_load_seconds);
+  scored.mix_u64(r.browser_rerequests);
+  scored.mix_u64(r.reset_episodes);
+  scored.mix_u64(r.rst_streams_sent);
+  scored.mix_u64(r.tcp_retransmits);
+  scored.mix_u64(r.duplicate_server_responses);
+  scored.mix_u64(r.events_executed);
+  scored.mix_u64(r.monitor_packets);
+  scored.mix_u64(static_cast<std::uint64_t>(r.monitor_gets));
+  scored.mix_u64(r.egress_burst_drops);
+  scored.mix_double(r.attack_horizon_seconds);
+  scored.mix_u64(static_cast<std::uint64_t>(r.sequence_positions_correct));
+
+  const auto mix_outcome = [&scored](const core::ObjectOutcome& o) {
+    scored.mix_u64(o.true_size);
+    scored.mix_double(o.primary_dom.value_or(-1.0));
+    scored.mix_u64(o.serialized_primary ? 1 : 0);
+    scored.mix_u64(o.any_serialized_copy ? 1 : 0);
+    scored.mix_u64(o.identified ? 1 : 0);
+    scored.mix_u64(o.attack_success ? 1 : 0);
+  };
+  mix_outcome(r.html);
+  for (const auto& o : r.emblems_by_position) mix_outcome(o);
+  for (const auto& label : r.predicted_sequence) {
+    scored.mix_bytes(util::BytesView(reinterpret_cast<const std::uint8_t*>(label.data()),
+                                     label.size()));
+  }
+  out.scored = scored.digest();
+  return out;
+}
+
+}  // namespace h2priv::testing

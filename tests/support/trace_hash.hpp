@@ -1,0 +1,47 @@
+// Golden-trace hashing: a stable digest over every wire byte a seeded
+// run_once puts through the middlebox plus the scored RunResult fields.
+//
+// The digest is the regression anchor for refactors of the data path: any
+// change that perturbs a single packet's bytes, the packet order, or a
+// scored metric changes the hash. FNV-1a 64 keeps the expected values
+// printable and platform-independent.
+#pragma once
+
+#include <cstdint>
+
+#include "h2priv/core/experiment.hpp"
+#include "h2priv/util/bytes.hpp"
+
+namespace h2priv::testing {
+
+class TraceHasher {
+ public:
+  void mix_u8(std::uint8_t v) noexcept {
+    h_ ^= v;
+    h_ *= 0x100000001b3ull;
+  }
+  void mix_u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) mix_u8(static_cast<std::uint8_t>(v >> (i * 8)));
+  }
+  void mix_double(double d) noexcept;
+  void mix_bytes(util::BytesView bytes) noexcept {
+    for (const std::uint8_t b : bytes) mix_u8(b);
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+};
+
+struct TraceDigest {
+  std::uint64_t wire = 0;     ///< every packet's wire bytes, in middlebox order
+  std::uint64_t scored = 0;   ///< every scored RunResult field
+  std::uint64_t packets = 0;  ///< packets hashed (sanity / debugging aid)
+};
+
+/// Runs one seeded experiment with a packet tap installed and digests both
+/// the wire bytes and the scored result.
+[[nodiscard]] TraceDigest hash_run(core::RunConfig config);
+
+}  // namespace h2priv::testing

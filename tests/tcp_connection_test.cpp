@@ -191,7 +191,7 @@ TEST(TcpConnection, BrokenPathReportsBroken) {
   pair.client->on_closed = [&](CloseReason r) { closed = true; reason = r; };
   // Break the forward path only.
   // (Re-wire the sink to drop everything.)
-  pair.client->set_segment_out([](util::Bytes) {});
+  pair.client->set_segment_out([](util::SharedBytes) {});
   pair.client->send(util::patterned_bytes(1'000, 1));
   pair.run_for(seconds(120));
   EXPECT_TRUE(closed);

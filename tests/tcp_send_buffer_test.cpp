@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <random>
+
 namespace h2priv::tcp {
 namespace {
 
@@ -64,6 +67,73 @@ TEST(SendBuffer, DuplicateAckIsIgnored) {
   buf.ack(5);
   buf.ack(3);  // old ack: no-op
   EXPECT_EQ(buf.acked(), 5u);
+}
+
+TEST(SendBuffer, ReadViewAliasesStorageAndSurvivesAck) {
+  SendBuffer buf;
+  const util::Bytes a = util::patterned_bytes(200, 9);
+  buf.append(a);
+  const util::BytesView v = buf.read_view(50, 100);
+  ASSERT_EQ(v.size(), 100u);
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), a.begin() + 50));
+  // ack() only advances the dead prefix — the view stays valid.
+  buf.ack(150);
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), a.begin() + 50));
+  // And a fresh view at the same offset points into the same storage.
+  EXPECT_EQ(buf.read_view(150, 10).data(), v.data() + 100);
+}
+
+// Property test: the ring/compacting implementation must be observationally
+// identical to the old std::deque<uint8_t> implementation under arbitrary
+// interleavings of append / read / ack. The reference model below IS that
+// old implementation (deque + erase-prefix on ack).
+TEST(SendBuffer, RandomOpsMatchDequeReferenceModel) {
+  struct Reference {
+    std::uint64_t base = 0;
+    std::deque<std::uint8_t> q;
+  };
+  std::mt19937 rng(0xc0ffee);
+  for (int trial = 0; trial < 20; ++trial) {
+    SendBuffer buf;
+    Reference ref;
+    for (int op = 0; op < 400; ++op) {
+      switch (rng() % 3) {
+        case 0: {  // append 1..3000 patterned bytes
+          const std::size_t n = 1 + rng() % 3'000;
+          const util::Bytes chunk =
+              util::patterned_bytes(n, static_cast<std::uint32_t>(rng()));
+          ASSERT_EQ(buf.append(chunk), ref.base + ref.q.size());
+          ref.q.insert(ref.q.end(), chunk.begin(), chunk.end());
+          break;
+        }
+        case 1: {  // read a random in-range window, compare byte-for-byte
+          if (ref.q.empty()) break;
+          const std::uint64_t off = ref.base + rng() % ref.q.size();
+          const std::size_t len = 1 + rng() % 2'000;
+          const util::BytesView got = buf.read_view(off, len);
+          const std::size_t avail = ref.q.size() - (off - ref.base);
+          ASSERT_EQ(got.size(), std::min(len, avail));
+          for (std::size_t i = 0; i < got.size(); ++i) {
+            ASSERT_EQ(got[i], ref.q[off - ref.base + i]) << "trial " << trial;
+          }
+          break;
+        }
+        default: {  // ack a random prefix (possibly stale / duplicate)
+          const std::uint64_t target = ref.base + rng() % (ref.q.size() + 1);
+          buf.ack(target);
+          if (target > ref.base) {
+            ref.q.erase(ref.q.begin(),
+                        ref.q.begin() + static_cast<std::ptrdiff_t>(target - ref.base));
+            ref.base = target;
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(buf.acked(), ref.base);
+      ASSERT_EQ(buf.end(), ref.base + ref.q.size());
+      ASSERT_EQ(buf.outstanding(), ref.q.size());
+    }
+  }
 }
 
 TEST(SendBuffer, OffsetsSurviveManyAckCycles) {

@@ -12,7 +12,7 @@ TEST(ByteWriter, WritesBigEndianScalars) {
   w.u24(0x030405);
   w.u32(0x06070809);
   w.u64(0x0a0b0c0d0e0f1011ull);
-  const Bytes out = w.view();
+  const Bytes out(w.view().begin(), w.view().end());
   const Bytes expect = {0xab, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08,
                         0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f, 0x10, 0x11};
   EXPECT_EQ(out, expect);
