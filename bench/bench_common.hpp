@@ -14,6 +14,8 @@
 
 #include "h2priv/core/experiment.hpp"
 #include "h2priv/core/parallel_runner.hpp"
+#include "h2priv/obs/export.hpp"
+#include "h2priv/obs/metrics.hpp"
 
 namespace h2priv::bench {
 
@@ -142,6 +144,11 @@ inline void emit_bench_json(
     first = false;
   }
   std::printf("}}\n");
+  // The per-layer observability snapshot rides along on its own line. The
+  // main thread's registry holds everything: parallel_for merged each
+  // worker's counts into it at join. collect_bench.py pairs the two lines
+  // and its compare mode hard-fails on drift of the deterministic counters.
+  std::printf("METRICS_JSON %s\n", obs::to_json(obs::current()).c_str());
 }
 
 }  // namespace h2priv::bench

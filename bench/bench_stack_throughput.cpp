@@ -20,6 +20,8 @@
 
 #include "h2priv/core/monitor.hpp"
 #include "h2priv/net/link.hpp"
+#include "h2priv/obs/export.hpp"
+#include "h2priv/obs/metrics.hpp"
 #include "h2priv/net/middlebox.hpp"
 #include "h2priv/sim/rng.hpp"
 #include "h2priv/sim/simulator.hpp"
@@ -230,5 +232,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(mib), direct.bytes_per_s(),
               direct.packets_per_s(), direct.allocs_per_packet(), mitm.bytes_per_s(),
               mitm.packets_per_s(), mitm.allocs_per_packet());
+  // Deterministic per --mb value: both scenarios pump a fixed byte count, so
+  // every counter here is a hard gate in collect_bench.py compare.
+  std::printf("METRICS_JSON %s\n", obs::to_json(obs::current()).c_str());
   return 0;
 }

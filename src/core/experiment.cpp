@@ -4,8 +4,12 @@
 
 #include <fstream>
 
+#include <cmath>
+
 #include "h2priv/analysis/trace_export.hpp"
 #include "h2priv/core/parallel_runner.hpp"
+#include "h2priv/obs/export.hpp"
+#include "h2priv/obs/metrics.hpp"
 #include "h2priv/net/link.hpp"
 #include "h2priv/net/middlebox.hpp"
 #include "h2priv/sim/simulator.hpp"
@@ -28,6 +32,10 @@ analysis::SizeCatalog isidewith_catalog() {
 }
 
 RunResult run_once(const RunConfig& config) {
+  obs::Registry& reg = obs::current();
+  if (config.obs_trace_capacity > 0) {
+    reg.trace().set_capacity(config.obs_trace_capacity);
+  }
   sim::Simulator sim;
   sim::Rng root(config.seed);
   sim::Rng plan_rng = root.fork();
@@ -168,6 +176,11 @@ RunResult run_once(const RunConfig& config) {
     o.label = label;
     o.true_size = site.site.object(id).size;
     o.primary_dom = truth->object_dom(id);
+    if (o.primary_dom.has_value()) {
+      // The paper's per-object observable: DoM == 0 means fully serialized.
+      reg.sample(obs::Hist::kH2ObjectDomMilli,
+                 static_cast<std::uint64_t>(std::llround(*o.primary_dom * 1000.0)));
+    }
     o.serialized_primary = o.primary_dom.has_value() && *o.primary_dom == 0.0;
     o.any_serialized_copy = truth->any_serialized_instance(id);
     o.identified = predictor.find(label, horizon).has_value();
@@ -201,7 +214,21 @@ RunResult run_once(const RunConfig& config) {
     outcome.attack_success = outcome.any_serialized_copy && position_ok;
     result.sequence_positions_correct += position_ok ? 1 : 0;
   }
+  reg.add(obs::Counter::kCoreRuns);
+  if (result.page_complete) reg.add(obs::Counter::kCorePagesComplete);
+  if (result.broken) reg.add(obs::Counter::kCoreBrokenRuns);
+  reg.add(obs::Counter::kCoreBrowserRerequests, result.browser_rerequests);
+  reg.add(obs::Counter::kCoreResetEpisodes, result.reset_episodes);
+  reg.trace().push(sim.now().ns, obs::TraceLayer::kCore, obs::TraceEvent::kRunScored,
+                   config.seed, events_executed);
+
   if (!config.trace_export_prefix.empty()) {
+    if (reg.trace().enabled()) {
+      std::ofstream obs_csv(config.trace_export_prefix + "_obs_trace.csv");
+      obs::write_trace_csv(obs_csv, reg.trace());
+      std::ofstream obs_json(config.trace_export_prefix + "_obs_trace.json");
+      obs::write_trace_json(obs_json, reg.trace());
+    }
     std::ofstream packets(config.trace_export_prefix + "_packets.csv");
     analysis::write_packets_csv(packets, monitor.packets());
     std::ofstream records(config.trace_export_prefix + "_records.csv");

@@ -74,7 +74,13 @@ struct RunConfig {
 
   /// When non-empty, write <prefix>_packets.csv, <prefix>_records.csv and
   /// <prefix>_ground_truth.csv at the end of the run (analysis::trace_export).
+  /// With obs_trace_capacity > 0, also <prefix>_obs_trace.csv/.json — the
+  /// structured per-layer event tail (drops, holds, retransmits, RTO fires).
   std::string trace_export_prefix;
+
+  /// Capacity of the obs::TraceRing armed on the thread-current registry for
+  /// this run (0 = tracing stays off). The ring keeps the newest records.
+  std::size_t obs_trace_capacity = 0;
 
   /// Observer for every packet entering the middlebox (both directions, in
   /// arrival order, before any drop decision). Used by the golden-trace

@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "h2priv/obs/metrics.hpp"
+
 namespace h2priv::core {
 
 Parallelism Parallelism::from_env() noexcept {
@@ -30,6 +32,8 @@ void parallel_for(int n, Parallelism parallelism,
   if (n <= 0) return;
   const int jobs = effective_jobs(parallelism, n);
   if (jobs == 1) {
+    // Serial path counts straight into the caller's registry — identical
+    // totals to the threaded path below, just without the detour.
     for (int i = 0; i < n; ++i) body(i);
     return;
   }
@@ -39,19 +43,29 @@ void parallel_for(int n, Parallelism parallelism,
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
+  // Metrics: every worker counts into a private registry and folds it into
+  // the caller's registry at join. Counter merges are sums (and gauge
+  // merges maxes), so the batch totals are bit-identical for any job count
+  // and any work-stealing interleaving.
+  obs::Registry& parent_registry = obs::current();
+  std::mutex merge_mutex;
+
   const auto worker = [&] {
+    obs::ScopedRegistry scoped;
     for (;;) {
       const int i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      if (i >= n || failed.load(std::memory_order_relaxed)) break;
       try {
         body(i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
-        return;
+        break;
       }
     }
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    parent_registry.merge_from(scoped.registry());
   };
 
   std::vector<std::thread> pool;

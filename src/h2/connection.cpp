@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "h2priv/obs/metrics.hpp"
 #include "h2priv/util/narrow.hpp"
 
 namespace h2priv::h2 {
@@ -74,6 +75,8 @@ WireSpan Connection::write_data(std::uint32_t stream_id, util::BytesView payload
   encode_data_into(frame_scratch_, stream_id, payload, end_stream, 0);
   const WireSpan span = out_(frame_scratch_.view());
   ++stats_.frames_sent;
+  obs::count(obs::Counter::kH2DataSent);
+  obs::count(obs::Counter::kH2DataBytesSent, payload.size());
   if (on_frame_sent) on_frame_sent(stream_id, FrameType::kData, span);
   return span;
 }
@@ -83,6 +86,7 @@ WireSpan Connection::write_frame(const Frame& f) {
   encode_frame_into(frame_scratch_, f);
   const WireSpan span = out_(frame_scratch_.view());
   ++stats_.frames_sent;
+  obs::count(obs::h2_frame_sent_counter(static_cast<unsigned>(frame_type(f))));
   if (on_frame_sent) on_frame_sent(frame_stream_id(f), frame_type(f), span);
   return span;
 }
@@ -325,6 +329,7 @@ void Connection::on_bytes(util::BytesView bytes) {
   decoder_.feed(bytes);
   while (auto frame = decoder_.next()) {
     ++stats_.frames_received;
+    obs::count(obs::Counter::kH2FramesReceived);
     handle_frame(std::move(*frame));
   }
 }
@@ -442,6 +447,7 @@ void Connection::handle_frame(Frame&& f) {
 
         } else if constexpr (std::is_same_v<T, RstStreamFrame>) {
           ++stats_.rst_streams_received;
+          obs::count(obs::Counter::kH2RstStreamsReceived);
           if (const auto it = streams_.find(frame.stream_id); it != streams_.end()) {
             it->second.reset();
           }

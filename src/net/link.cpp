@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "h2priv/obs/metrics.hpp"
+
 namespace h2priv::net {
 
 Link::Link(sim::Simulator& sim, LinkConfig config, sim::Rng rng, PacketSink out)
@@ -16,6 +18,10 @@ void Link::send(Packet&& p) {
   stats_.bytes_sent += p.wire_size();
   if (rng_.chance(config_.loss_probability)) {
     ++stats_.lost;
+    obs::count(obs::Counter::kNetLinkLost);
+    obs::current().trace().push(sim_.now().ns, obs::TraceLayer::kNet,
+                                obs::TraceEvent::kPacketLost, p.id,
+                                static_cast<std::uint64_t>(p.wire_size()));
     return;
   }
   if (config_.burst_capacity_packets > 0) {
@@ -29,6 +35,11 @@ void Link::send(Packet&& p) {
         rng_.chance(config_.burst_excess_loss)) {
       ++stats_.lost;
       ++stats_.burst_dropped;
+      obs::count(obs::Counter::kNetLinkLost);
+      obs::count(obs::Counter::kNetLinkBurstDropped);
+      obs::current().trace().push(sim_.now().ns, obs::TraceLayer::kNet,
+                                  obs::TraceEvent::kPacketLost, p.id,
+                                  static_cast<std::uint64_t>(p.wire_size()));
       return;
     }
   }
@@ -39,6 +50,7 @@ void Link::send(Packet&& p) {
   util::Duration prop = config_.propagation;
   if (config_.jitter_sigma.ns > 0) {
     prop = rng_.jittered(config_.propagation, config_.jitter_sigma, util::Duration{0});
+    obs::count(obs::Counter::kNetLinkJittered);
   }
   ++stats_.delivered;
   sim_.schedule_at(departed + prop,

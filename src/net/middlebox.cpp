@@ -4,18 +4,25 @@
 #include <stdexcept>
 #include <utility>
 
+#include "h2priv/obs/metrics.hpp"
+
 namespace h2priv::net {
 
 void Middlebox::process(Direction d, Packet&& p) {
   PortState& port_state = port(d);
   if (!port_state.out) throw std::logic_error("Middlebox: output not wired");
 
+  obs::Registry& reg = obs::current();
   ++port_state.stats.seen;
+  reg.add(obs::Counter::kNetMbSeen);
   const util::TimePoint arrival = sim_.now();
   for (const auto& tap : taps_) tap(d, p, arrival);
 
   if (port_state.drop && port_state.drop(p)) {
     ++port_state.stats.dropped;
+    reg.add(obs::Counter::kNetMbDropped);
+    reg.trace().push(arrival.ns, obs::TraceLayer::kNet, obs::TraceEvent::kPacketDropped,
+                     p.id, static_cast<std::uint64_t>(p.wire_size()));
     return;
   }
 
@@ -25,6 +32,12 @@ void Middlebox::process(Direction d, Packet&& p) {
     const util::TimePoint start = std::max(arrival, port_state.shaper_busy_until);
     ready = start + port_state.bandwidth->transmission_time(p.wire_size());
     port_state.shaper_busy_until = ready;
+    reg.add(obs::Counter::kNetMbThrottled);
+    if (start > arrival) {
+      reg.trace().push(arrival.ns, obs::TraceLayer::kNet,
+                       obs::TraceEvent::kPacketThrottled, p.id,
+                       static_cast<std::uint64_t>((start - arrival).ns));
+    }
   }
 
   // Hold stage: policy may push individual packets later (request spacing).
@@ -32,10 +45,16 @@ void Middlebox::process(Direction d, Packet&& p) {
   if (port_state.hold) {
     release = port_state.hold(p, ready);
     if (release < ready) throw std::logic_error("Middlebox: hold released packet early");
-    if (release > ready) ++port_state.stats.held;
+    if (release > ready) {
+      ++port_state.stats.held;
+      reg.add(obs::Counter::kNetMbHeld);
+      reg.trace().push(arrival.ns, obs::TraceLayer::kNet, obs::TraceEvent::kPacketHeld,
+                       p.id, static_cast<std::uint64_t>((release - ready).ns));
+    }
   }
 
   ++port_state.stats.forwarded;
+  reg.add(obs::Counter::kNetMbForwarded);
   sim_.schedule_at(release, [&port_state, pkt = std::move(p)]() mutable {
     port_state.out(std::move(pkt));
   });

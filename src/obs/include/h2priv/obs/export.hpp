@@ -1,0 +1,40 @@
+// Serialization of obs::Registry and obs::TraceRing to JSON / CSV.
+//
+// The JSON form is deliberately integer-only and emitted in fixed enum
+// order with zero entries skipped, so the METRICS_JSON line of a seeded run
+// is byte-stable across platforms, job counts and reruns — stable enough to
+// golden-test and to diff in the CI perf gate. The one exception is the
+// pool.chunks_reused / _fresh / _oversize split: buffer pools are
+// thread-local, so the reuse pattern depends on which worker ran which seed
+// (the _served total stays deterministic). Golden tests zero those three
+// via Registry::set(); collect_bench.py compare treats them as warn-only.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "h2priv/obs/metrics.hpp"
+#include "h2priv/obs/trace_ring.hpp"
+
+namespace h2priv::obs {
+
+/// Stable dotted metric names ("sim.events_executed", ...).
+[[nodiscard]] const char* counter_name(Counter c) noexcept;
+[[nodiscard]] const char* gauge_name(Gauge g) noexcept;
+[[nodiscard]] const char* hist_name(Hist h) noexcept;
+
+/// One-line JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+/// Zero counters/gauges and empty histograms are skipped; histogram buckets
+/// are emitted as [bit_width, count] pairs. No floating point anywhere.
+[[nodiscard]] std::string to_json(const Registry& r);
+
+/// Writes to_json(r) to `os` (no trailing newline).
+void write_metrics_json(std::ostream& os, const Registry& r);
+
+/// CSV: header `t_ns,layer,event,a,b` then one row per record, oldest first.
+void write_trace_csv(std::ostream& os, const TraceRing& ring);
+
+/// JSON array of record objects, oldest first.
+void write_trace_json(std::ostream& os, const TraceRing& ring);
+
+}  // namespace h2priv::obs

@@ -1,0 +1,118 @@
+// Fixed-capacity structured trace ring.
+//
+// A TraceRecord is a 32-byte POD (sim-time stamp + layer/event tags + two
+// free-form operands); the ring overwrites the oldest record once full, so a
+// long run keeps the *tail* of its event history at a bounded, pre-allocated
+// cost. Capacity 0 (the default) disables the ring: push() is a single
+// predictable branch, which is what lets trace points stay compiled into the
+// hot path unconditionally.
+//
+// Rings are per-Registry and deliberately NOT merged across Monte-Carlo
+// workers (interleaving event tails from independent seeds has no meaning);
+// export the ring of the worker/run you care about instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace h2priv::obs {
+
+/// Which subsystem pushed the record.
+enum class TraceLayer : std::uint16_t {
+  kSim = 0,
+  kNet = 1,
+  kTcp = 2,
+  kTls = 3,
+  kH2 = 4,
+  kCore = 5,
+};
+
+/// What happened. Flat across layers so a record is self-describing.
+enum class TraceEvent : std::uint16_t {
+  // net
+  kPacketDropped = 0,   ///< a: packet id, b: wire bytes
+  kPacketHeld = 1,      ///< a: packet id, b: extra hold ns
+  kPacketThrottled = 2, ///< a: packet id, b: shaper queue ns
+  kPacketLost = 3,      ///< a: packet id, b: wire bytes (link loss)
+  // tcp
+  kRetransmit = 4,      ///< a: snd_una, b: kind (0 fast, 1 rto, 2 hole)
+  kRtoFired = 5,        ///< a: backoff count, b: rto ns
+  kCwndChanged = 6,     ///< a: cwnd bytes, b: ssthresh-ish (unused)
+  // h2 / tls (timestamped by the caller that owns a clock)
+  kRstStream = 7,       ///< a: stream id, b: error code
+  kRecordSealed = 8,    ///< a: plaintext bytes, b: record seq
+  // core
+  kRunScored = 9,       ///< a: seed, b: events executed
+};
+
+[[nodiscard]] const char* to_string(TraceLayer layer) noexcept;
+[[nodiscard]] const char* to_string(TraceEvent event) noexcept;
+
+/// One binary trace record. POD; the ring stores these by value.
+struct TraceRecord {
+  std::int64_t t_ns = 0;  ///< simulated time of the event
+  std::uint16_t layer = 0;
+  std::uint16_t event = 0;
+  std::uint32_t reserved = 0;  ///< keeps the record 8-byte aligned / 32 bytes
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+static_assert(sizeof(TraceRecord) == 32, "TraceRecord must stay a compact POD");
+
+class TraceRing {
+ public:
+  /// Disabled until set_capacity() is called with a non-zero capacity.
+  TraceRing() = default;
+
+  /// (Re)allocates the ring and clears any recorded history.
+  void set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    ring_.assign(capacity, TraceRecord{});
+    pushed_ = 0;
+  }
+
+  [[nodiscard]] bool enabled() const noexcept { return capacity_ != 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Records stored right now (== min(pushed, capacity)).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return pushed_ < capacity_ ? static_cast<std::size_t>(pushed_) : capacity_;
+  }
+
+  /// Total records ever pushed, including ones already overwritten.
+  [[nodiscard]] std::uint64_t total_pushed() const noexcept { return pushed_; }
+
+  void clear() noexcept {
+    pushed_ = 0;
+  }
+
+  void push(std::int64_t t_ns, TraceLayer layer, TraceEvent event, std::uint64_t a = 0,
+            std::uint64_t b = 0) noexcept {
+    if (capacity_ == 0) return;
+    TraceRecord& r = ring_[static_cast<std::size_t>(pushed_ % capacity_)];
+    r.t_ns = t_ns;
+    r.layer = static_cast<std::uint16_t>(layer);
+    r.event = static_cast<std::uint16_t>(event);
+    r.a = a;
+    r.b = b;
+    ++pushed_;
+  }
+
+  /// Visits stored records oldest-first (chronological push order).
+  template <typename Visitor>
+  void for_each(Visitor&& visit) const {
+    const std::size_t n = size();
+    const std::uint64_t first = pushed_ - n;
+    for (std::size_t i = 0; i < n; ++i) {
+      visit(ring_[static_cast<std::size_t>((first + i) % capacity_)]);
+    }
+  }
+
+ private:
+  std::size_t capacity_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::vector<TraceRecord> ring_;
+};
+
+}  // namespace h2priv::obs

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "h2priv/obs/metrics.hpp"
 #include "h2priv/sim/task.hpp"
 #include "h2priv/util/units.hpp"
 
@@ -110,6 +111,11 @@ class Simulator {
   bool pop_and_run();
   /// Drops cancelled entries off the heap top; true if a live head remains.
   bool settle_head();
+
+  /// The thread-current metrics registry, captured at construction (a
+  /// Simulator lives and dies on one Monte-Carlo worker) so the per-event
+  /// instrumentation skips the thread-local lookup.
+  obs::Registry* obs_ = nullptr;
 
   TimePoint now_{};
   std::uint64_t next_seq_ = 1;

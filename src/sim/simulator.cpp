@@ -11,7 +11,7 @@ namespace {
 constexpr std::size_t kInitialCapacity = 1024;
 }  // namespace
 
-Simulator::Simulator() {
+Simulator::Simulator() : obs_(&obs::current()) {
   heap_.reserve(kInitialCapacity);
   slots_.reserve(kInitialCapacity);
 }
@@ -28,6 +28,8 @@ EventId Simulator::schedule_at(TimePoint when, Task fn) {
   slots_[slot].fn = std::move(fn);
   heap_.push_back(Entry{when, seq, slot});
   sift_up(heap_.size() - 1);
+  obs_->add(obs::Counter::kSimEventsScheduled);
+  obs_->gauge_max(obs::Gauge::kSimHeapDepth, heap_.size());
   return EventId{(static_cast<std::uint64_t>(slots_[slot].generation) << 32) | slot};
 }
 
@@ -41,6 +43,7 @@ void Simulator::cancel(EventId id) {
   s.live = false;
   s.fn = Task{};  // the closure will never run — free its resources now
   ++cancelled_pending_;
+  obs_->add(obs::Counter::kSimEventsCancelled);
 }
 
 std::uint32_t Simulator::acquire_slot() {
@@ -118,6 +121,7 @@ bool Simulator::pop_and_run() {
   release_slot(top.slot);
   remove_top();
   fn();
+  obs_->add(obs::Counter::kSimEventsExecuted);
   if (++executed_ > event_limit_) {
     throw std::runtime_error("Simulator: event limit exceeded (runaway event storm?)");
   }

@@ -68,6 +68,8 @@ std::uint64_t Connection::send(util::BytesView data) {
     throw std::length_error("tcp::send: exceeds send buffer limit");
   }
   const std::uint64_t offset = send_buf_.append(data);
+  obs_->sample(obs::Hist::kTcpSendBufOccupancy, send_buf_.outstanding());
+  obs_->gauge_max(obs::Gauge::kTcpSendBufferBytes, send_buf_.outstanding());
   const std::uint64_t sent_offset =
       snd_nxt_ > 0 ? std::min(offset_of(snd_nxt_), send_buf_.end()) : 0;
   if (static_cast<std::int64_t>(send_buf_.end() - sent_offset) >= config_.writable_watermark) {
@@ -122,6 +124,7 @@ void Connection::emit(SegmentView s) {
   s.dst_port = config_.remote_port;
   s.window = advertised_window();
   ++stats_.segments_sent;
+  obs_->add(obs::Counter::kTcpSegmentsSent);
   if (!s.payload.empty()) {
     ++stats_.data_segments_sent;
     stats_.payload_bytes_sent += s.payload.size();
@@ -321,8 +324,15 @@ void Connection::on_retx_timeout() {
   }
   ++stats_.retransmits_timeout;
   ++stats_.rto_backoffs;
+  obs_->add(obs::Counter::kTcpRetransmitsTimeout);
+  obs_->add(obs::Counter::kTcpRtoFired);
+  obs_->add(obs::Counter::kTcpRtoBackoffs);
+  obs_->trace().push(sim_.now().ns, obs::TraceLayer::kTcp, obs::TraceEvent::kRtoFired,
+                     static_cast<std::uint64_t>(retries_),
+                     static_cast<std::uint64_t>(rto_.rto().ns));
   rto_.backoff();
   cc_.on_timeout();
+  obs_->sample(obs::Hist::kTcpCwndBytes, cc_.cwnd());
   in_recovery_ = false;
   dup_acks_ = 0;
   recovery_inflation_ = 0;
@@ -350,6 +360,7 @@ void Connection::on_wire(util::BytesView wire) {
   if (state_ == State::kClosed) return;
   const SegmentView s = peek(wire);
   ++stats_.segments_received;
+  obs_->add(obs::Counter::kTcpSegmentsReceived);
 
   if (s.rst()) {
     if (state_ != State::kListen) finish(CloseReason::kReset);
@@ -432,11 +443,16 @@ void Connection::handle_ack(const SegmentView& s) {
       } else {
         // NewReno partial ACK: the next hole is lost too — retransmit it.
         ++stats_.retransmits_hole;
+        obs_->add(obs::Counter::kTcpRetransmitsHole);
+        obs_->trace().push(sim_.now().ns, obs::TraceLayer::kTcp,
+                           obs::TraceEvent::kRetransmit, snd_una_, 2);
         retransmit_head("partial-ack");
       }
     } else {
       dup_acks_ = 0;
       cc_.on_ack(acked);
+      obs_->sample(obs::Hist::kTcpCwndBytes, cc_.cwnd());
+      obs_->gauge_max(obs::Gauge::kTcpCwndBytes, cc_.cwnd());
     }
 
     // FIN acked?
@@ -483,7 +499,11 @@ void Connection::handle_ack(const SegmentView& s) {
         recovery_inflation_ =
             static_cast<std::uint64_t>(config_.dup_ack_threshold) * config_.mss;
         cc_.on_fast_retransmit();
+        obs_->sample(obs::Hist::kTcpCwndBytes, cc_.cwnd());
         ++stats_.retransmits_fast;
+        obs_->add(obs::Counter::kTcpRetransmitsFast);
+        obs_->trace().push(sim_.now().ns, obs::TraceLayer::kTcp,
+                           obs::TraceEvent::kRetransmit, snd_una_, 0);
         retransmit_head("fast-retransmit");
         arm_retx_timer();
       }

@@ -12,6 +12,7 @@
 #include <functional>
 #include <optional>
 
+#include "h2priv/obs/metrics.hpp"
 #include "h2priv/sim/simulator.hpp"
 #include "h2priv/tcp/congestion.hpp"
 #include "h2priv/tcp/reassembly.hpp"
@@ -170,6 +171,9 @@ class Connection {
   SegmentOut out_;
   State state_ = State::kClosed;
   TcpStats stats_;
+  /// Thread-current metrics registry, captured at construction (connections
+  /// live on one Monte-Carlo worker; see obs/metrics.hpp).
+  obs::Registry* obs_ = &obs::current();
 
   // Send side.
   SendBuffer send_buf_;

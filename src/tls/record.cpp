@@ -4,6 +4,7 @@
 #include <array>
 #include <string>
 
+#include "h2priv/obs/metrics.hpp"
 #include "h2priv/util/narrow.hpp"
 
 namespace h2priv::tls {
@@ -104,6 +105,8 @@ void SealContext::seal_into(util::ByteWriter& w, ContentType type,
     w.bytes(util::BytesView(scratch.data(), chunk));
     const auto tag = compute_tag(secret_, domain_, seq, piece);
     w.bytes(util::BytesView(tag.data(), tag.size()));
+    obs::count(obs::Counter::kTlsRecordsSealed);
+    obs::sample(obs::Hist::kTlsRecordBytes, chunk);
     off += chunk;
   } while (off < plaintext.size());
 }
@@ -154,6 +157,7 @@ OpenContext::Record OpenContext::open_one(util::BytesView wire, std::size_t& con
     throw TlsError("open_one: authentication failure (corrupted or out-of-order record)");
   }
   consumed = kHeaderBytes + hdr.ciphertext_len;
+  obs::count(obs::Counter::kTlsRecordsOpened);
   return Record{hdr.type, std::move(plaintext)};
 }
 

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <new>
 
+#include "h2priv/obs/metrics.hpp"
+
 namespace h2priv::util {
 
 namespace detail {
@@ -47,19 +49,26 @@ BufferPool::~BufferPool() {
 }
 
 detail::ChunkHeader* BufferPool::acquire(std::size_t size) {
+  // Resolved per call, not cached: the thread_local default_pool() outlives
+  // any ScopedRegistry installed by a Monte-Carlo worker.
+  obs::Registry& reg = obs::current();
   ++stats_.served;
+  reg.add(obs::Counter::kPoolChunksServed);
   for (std::size_t i = 0; i < kClassSizes.size(); ++i) {
     if (size > kClassSizes[i]) continue;
     if (detail::ChunkHeader* h = free_[i]; h != nullptr) {
       free_[i] = detail::next_of(h);
       h->refs = 1;
       ++stats_.reused;
+      reg.add(obs::Counter::kPoolChunksReused);
       return h;
     }
     ++stats_.fresh;
+    reg.add(obs::Counter::kPoolChunksFresh);
     return detail::new_chunk(kClassSizes[i], this);
   }
   ++stats_.oversize;
+  reg.add(obs::Counter::kPoolChunksOversize);
   return detail::new_chunk(size, nullptr);
 }
 

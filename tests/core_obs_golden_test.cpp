@@ -1,0 +1,77 @@
+// Golden METRICS_JSON regression: the exported metrics of the fig2
+// spacing-50ms experiment at seed 1000 must be byte-stable — same bytes on
+// every rerun, every platform, and every worker count. This is the property
+// the CI perf gate leans on when it diffs METRICS_JSON lines against the
+// committed BENCH_<date>.json baseline.
+//
+// The golden bytes are not hardcoded: stack changes legitimately move the
+// counters (and regenerate the bench baseline when they do). What must
+// never drift is run-to-run stability for a fixed build.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "h2priv/core/experiment.hpp"
+#include "h2priv/core/parallel_runner.hpp"
+#include "h2priv/obs/export.hpp"
+#include "h2priv/obs/metrics.hpp"
+#include "h2priv/util/units.hpp"
+
+namespace h2priv {
+namespace {
+
+core::RunConfig fig2_config() {
+  core::RunConfig cfg;
+  cfg.seed = 1000;
+  cfg.manual_spacing = util::milliseconds(50);
+  return cfg;
+}
+
+void zero_scheduling_dependent(obs::Registry& r) {
+  r.set(obs::Counter::kPoolChunksReused, 0);
+  r.set(obs::Counter::kPoolChunksFresh, 0);
+  r.set(obs::Counter::kPoolChunksOversize, 0);
+}
+
+std::string run_and_export() {
+  obs::ScopedRegistry scoped;
+  (void)core::run_once(fig2_config());
+  zero_scheduling_dependent(scoped.registry());
+  return obs::to_json(scoped.registry());
+}
+
+TEST(ObsGolden, Fig2Seed1000MetricsAreByteStable) {
+  const std::string first = run_and_export();
+  const std::string second = run_and_export();
+  const std::string third = run_and_export();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, third);
+}
+
+TEST(ObsGolden, SerialAndParallelBatchesExportTheSameBytes) {
+  const auto batch = [](int jobs) {
+    obs::ScopedRegistry scoped;
+    (void)core::run_many(fig2_config(), 4, core::Parallelism{jobs});
+    zero_scheduling_dependent(scoped.registry());
+    return obs::to_json(scoped.registry());
+  };
+  EXPECT_EQ(batch(1), batch(4));
+}
+
+TEST(ObsGolden, ExportShapeIsStable) {
+  const std::string json = run_and_export();
+  // Structural anchors the collect/compare pipeline parses.
+  EXPECT_EQ(json.rfind(R"({"counters":{)", 0), 0u) << json.substr(0, 80);
+  EXPECT_NE(json.find(R"("gauges":{)"), std::string::npos);
+  EXPECT_NE(json.find(R"("histograms":{)"), std::string::npos);
+  EXPECT_NE(json.find(R"("core.runs":1)"), std::string::npos);
+  EXPECT_NE(json.find(R"("sim.events_executed":)"), std::string::npos);
+  EXPECT_NE(json.find(R"("tls.record_bytes":{"count":)"), std::string::npos);
+  // Integer-only contract: no exponents, no decimal fractions.
+  EXPECT_EQ(json.find("e+"), std::string::npos);
+  EXPECT_EQ(json.find("E+"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace h2priv

@@ -1,0 +1,125 @@
+// TraceRing behaviour: the zero-capacity (disabled) fast path, wrap-around
+// retention of the newest records, and the oldest-first iteration order.
+#include "h2priv/obs/trace_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "h2priv/obs/export.hpp"
+
+namespace h2priv::obs {
+namespace {
+
+std::vector<TraceRecord> drain(const TraceRing& ring) {
+  std::vector<TraceRecord> out;
+  ring.for_each([&](const TraceRecord& rec) { out.push_back(rec); });
+  return out;
+}
+
+TEST(TraceRing, DisabledByDefault) {
+  TraceRing ring;
+  EXPECT_FALSE(ring.enabled());
+  ring.push(1, TraceLayer::kTcp, TraceEvent::kRetransmit, 10, 20);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total_pushed(), 0u);
+}
+
+TEST(TraceRing, RecordsAreThirtyTwoBytes) {
+  static_assert(sizeof(TraceRecord) == 32);
+  SUCCEED();
+}
+
+TEST(TraceRing, FillsUpToCapacity) {
+  TraceRing ring;
+  ring.set_capacity(4);
+  EXPECT_TRUE(ring.enabled());
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ring.push(static_cast<std::int64_t>(i), TraceLayer::kNet,
+              TraceEvent::kPacketDropped, i, 100 + i);
+  }
+  const auto records = drain(ring);
+  ASSERT_EQ(records.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(records[i].t_ns, static_cast<std::int64_t>(i));
+    EXPECT_EQ(records[i].a, i);
+    EXPECT_EQ(records[i].b, 100 + i);
+    EXPECT_EQ(records[i].layer, static_cast<std::uint16_t>(TraceLayer::kNet));
+    EXPECT_EQ(records[i].event, static_cast<std::uint16_t>(TraceEvent::kPacketDropped));
+  }
+}
+
+TEST(TraceRing, WrapAroundKeepsNewestInOrder) {
+  TraceRing ring;
+  ring.set_capacity(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.push(static_cast<std::int64_t>(i), TraceLayer::kTcp, TraceEvent::kRtoFired, i, 0);
+  }
+  EXPECT_EQ(ring.total_pushed(), 10u);
+  EXPECT_EQ(ring.size(), 4u);
+  const auto records = drain(ring);
+  ASSERT_EQ(records.size(), 4u);
+  // Records 6..9 survive, oldest first.
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(records[i].a, 6 + i);
+}
+
+TEST(TraceRing, WrapAroundAtExactCapacityMultiple) {
+  TraceRing ring;
+  ring.set_capacity(3);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ring.push(0, TraceLayer::kH2, TraceEvent::kRstStream, i, 0);
+  }
+  const auto records = drain(ring);
+  ASSERT_EQ(records.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(records[i].a, 3 + i);
+}
+
+TEST(TraceRing, ClearForgetsRecordsButKeepsCapacity) {
+  TraceRing ring;
+  ring.set_capacity(2);
+  ring.push(5, TraceLayer::kTls, TraceEvent::kRecordSealed, 1, 2);
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total_pushed(), 0u);
+  EXPECT_TRUE(ring.enabled());
+  ring.push(6, TraceLayer::kTls, TraceEvent::kRecordSealed, 3, 4);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(TraceRing, CsvAndJsonExportsRenderRecords) {
+  TraceRing ring;
+  ring.set_capacity(4);
+  ring.push(1500, TraceLayer::kNet, TraceEvent::kPacketDropped, 7, 1460);
+  ring.push(2500, TraceLayer::kTcp, TraceEvent::kRtoFired, 1, 200000000);
+
+  std::ostringstream csv;
+  write_trace_csv(csv, ring);
+  EXPECT_EQ(csv.str(),
+            "t_ns,layer,event,a,b\n"
+            "1500,net,packet_dropped,7,1460\n"
+            "2500,tcp,rto_fired,1,200000000\n");
+
+  std::ostringstream json;
+  write_trace_json(json, ring);
+  const std::string out = json.str();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_NE(out.find(R"("t_ns":1500)"), std::string::npos) << out;
+  EXPECT_NE(out.find(R"("layer":"tcp")"), std::string::npos) << out;
+  EXPECT_NE(out.find(R"("event":"rto_fired")"), std::string::npos) << out;
+}
+
+TEST(TraceRing, SetCapacityResetsContents) {
+  TraceRing ring;
+  ring.set_capacity(2);
+  ring.push(1, TraceLayer::kSim, TraceEvent::kRunScored, 1, 1);
+  ring.set_capacity(8);
+  EXPECT_EQ(ring.size(), 0u);
+  ring.set_capacity(0);
+  EXPECT_FALSE(ring.enabled());
+}
+
+}  // namespace
+}  // namespace h2priv::obs
