@@ -13,7 +13,8 @@ int main(int argc, char** argv) {
 
   std::printf("%-14s | %-12s | %-20s | %-20s | %-20s\n", "policy", "adversary",
               "HTML mean DoM", "HTML identified (%)", "positions /8 (mean)");
-  std::printf("---------------+--------------+----------------------+----------------------+----------------------\n");
+  std::printf("---------------+--------------+----------------------+--------------------"
+              "--+----------------------\n");
 
   std::vector<std::pair<std::string, double>> headline;
   for (const auto policy : {server::InterleavePolicy::kSequential,
@@ -43,8 +44,10 @@ int main(int argc, char** argv) {
           }));
     }
   }
-  std::printf("\nexpected: the sequential (HTTP/1.1-like) server leaks to a passive observer;\n"
-              "round-robin/weighted protect passively but fall to the active pipeline —\n"
+  std::printf("\nexpected: the sequential (HTTP/1.1-like) server leaks to a passive "
+              "observer;\n"
+              "round-robin/weighted protect passively but fall to the active "
+              "pipeline —\n"
               "the paper's thesis that multiplexing is not a dependable defense.\n");
   bench::emit_bench_json("ablation_scheduler", headline);
   return 0;

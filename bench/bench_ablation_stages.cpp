@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
 
   std::printf("%-22s | %-12s | %-14s | %-18s | %-12s\n", "stages", "HTML ok (%)",
               "positions /8", "re-GETs (mean)", "broken (%)");
-  std::printf("-----------------------+--------------+----------------+--------------------+------------\n");
+  std::printf("-----------------------+--------------+----------------+------------------"
+              "--+------------\n");
   std::vector<std::pair<std::string, double>> headline;
   for (const Stage& stage : stages) {
     core::RunConfig cfg;
@@ -51,7 +52,8 @@ int main(int argc, char** argv) {
         batch.pct([](const core::RunResult& r) { return r.html.attack_success; }));
   }
   std::printf("\nexpected: drops (the reset mechanism) are what lift the HTML target to\n"
-              "~90%%; spacing alone leaves later objects buried in retransmission copies.\n");
+              "~90%%; spacing alone leaves later objects buried in retransmission copies."
+              "\n");
   bench::emit_bench_json("ablation_stages", headline);
   return 0;
 }

@@ -90,14 +90,16 @@ struct Batch {
 /// Runs seeds {base_seed .. base_seed+runs-1} across the harness's worker
 /// pool (see --jobs / H2PRIV_JOBS). Results are bit-identical to the serial
 /// loop for every job count; only the wall clock changes.
-inline Batch run_batch(core::RunConfig config, int runs, std::uint64_t base_seed = 1'000) {
+inline Batch run_batch(core::RunConfig config, int runs,
+                       std::uint64_t base_seed = 1'000) {
   Harness& h = Harness::instance();
   Batch b;
   b.jobs_used = core::effective_jobs(h.jobs, runs);
   config.seed = base_seed;
   const auto t0 = std::chrono::steady_clock::now();
   b.results = core::run_many(config, runs, h.jobs);
-  b.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  b.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   for (const auto& r : b.results) b.events_executed += r.events_executed;
   h.total_runs += b.n();
   h.batch_wall_s += b.wall_seconds;
@@ -105,14 +107,17 @@ inline Batch run_batch(core::RunConfig config, int runs, std::uint64_t base_seed
   return b;
 }
 
-inline void print_header(const char* id, const char* paper_ref, const char* what, int runs) {
+inline void print_header(const char* id, const char* paper_ref, const char* what,
+                         int runs) {
   const Harness& h = Harness::instance();
-  std::printf("==========================================================================\n");
+  std::printf("=========================================================================="
+              "\n");
   std::printf("%s — %s\n", id, paper_ref);
   std::printf("%s\n", what);
   std::printf("(%d simulated page loads per configuration, %d worker thread(s))\n", runs,
               core::effective_jobs(h.jobs, std::max(1, runs)));
-  std::printf("==========================================================================\n");
+  std::printf("=========================================================================="
+              "\n");
 }
 
 /// Prints the batch-layer perf summary for one batch (optional, human-facing).
@@ -136,8 +141,9 @@ inline void emit_bench_json(
       batch_wall > 0 ? static_cast<double>(h.total_events) / batch_wall : 0.0;
   std::printf("BENCH_JSON {\"name\":\"%s\",\"runs\":%d,\"jobs\":%d,\"wall_s\":%.3f,"
               "\"batch_wall_s\":%.3f,\"events\":%llu,\"events_per_s\":%.5g,\"metrics\":{",
-              name, h.total_runs, core::effective_jobs(h.jobs, std::max(1, h.runs)), wall_s,
-              h.batch_wall_s, static_cast<unsigned long long>(h.total_events), events_per_s);
+              name, h.total_runs, core::effective_jobs(h.jobs, std::max(1, h.runs)),
+              wall_s, h.batch_wall_s, static_cast<unsigned long long>(h.total_events),
+              events_per_s);
   bool first = true;
   for (const auto& [key, value] : metrics) {
     std::printf("%s\"%s\":%.6g", first ? "" : ",", key.c_str(), value);

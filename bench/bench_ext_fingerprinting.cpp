@@ -78,8 +78,10 @@ analysis::SizeProfile load_and_profile(const web::Site& site,
     mb.process(net::Direction::kServerToClient, std::move(p));
   });
   net::Link m2c(sim, hop, rng.fork(), [&](net::Packet&& p) { ctcp.on_wire(p.segment); });
-  mb.set_output(net::Direction::kClientToServer, [&](net::Packet&& p) { m2s.send(std::move(p)); });
-  mb.set_output(net::Direction::kServerToClient, [&](net::Packet&& p) { m2c.send(std::move(p)); });
+  mb.set_output(net::Direction::kClientToServer,
+                [&](net::Packet&& p) { m2s.send(std::move(p)); });
+  mb.set_output(net::Direction::kServerToClient,
+                [&](net::Packet&& p) { m2c.send(std::move(p)); });
   ctcp.set_segment_out([&](util::SharedBytes w) {
     c2m.send(net::Packet{0, net::Direction::kClientToServer, std::move(w)});
   });

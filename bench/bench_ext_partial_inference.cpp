@@ -18,7 +18,8 @@ using namespace h2priv;
 int main(int argc, char** argv) {
   const int runs = bench::runs_from_argv(argc, argv, 60);
   bench::print_header("Extension", "partial-multiplexing inference (paper SSVII)",
-                      "Gap-only segmentation: exact match vs subset-sum explanations", runs);
+                      "Gap-only segmentation: exact match vs subset-sum explanation"
+                      "s", runs);
 
   // Gap-only segmentation: no record-size delimiters, 60 ms idle splits.
   analysis::BurstConfig gap_only;
@@ -78,7 +79,8 @@ int main(int argc, char** argv) {
               merged_bursts / batch.n());
   std::printf("reading: without record delimiters, back-to-back responses merge and the\n"
               "exact match loses targets; explaining merged bursts as sums of catalog\n"
-              "sizes recovers a share of them (ambiguous sums are refused, not guessed).\n");
+              "sizes recovers a share of them (ambiguous sums are refused, not guessed)."
+              "\n");
   bench::emit_bench_json("ext_partial_inference",
                          {{"exact_identified_per_run", exact_hits / batch.n()},
                           {"subset_identified_per_run", subset_hits / batch.n()}});

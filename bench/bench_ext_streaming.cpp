@@ -52,8 +52,10 @@ StreamRun run_stream(bool prefetch, bool attack_spacing, std::uint64_t seed) {
     mb.process(net::Direction::kServerToClient, std::move(p));
   });
   net::Link m2c(sim, hop, rng.fork(), [&](net::Packet&& p) { ctcp.on_wire(p.segment); });
-  mb.set_output(net::Direction::kClientToServer, [&](net::Packet&& p) { m2s.send(std::move(p)); });
-  mb.set_output(net::Direction::kServerToClient, [&](net::Packet&& p) { m2c.send(std::move(p)); });
+  mb.set_output(net::Direction::kClientToServer,
+                [&](net::Packet&& p) { m2s.send(std::move(p)); });
+  mb.set_output(net::Direction::kServerToClient,
+                [&](net::Packet&& p) { m2c.send(std::move(p)); });
   ctcp.set_segment_out([&](util::SharedBytes w) {
     c2m.send(net::Packet{0, net::Direction::kClientToServer, std::move(w)});
   });
@@ -64,7 +66,8 @@ StreamRun run_stream(bool prefetch, bool attack_spacing, std::uint64_t seed) {
   tls::Session ctls(tls::Role::kClient, seed ^ 0xabc, ctcp);
   tls::Session stls(tls::Role::kServer, seed ^ 0xabc, stcp);
   analysis::GroundTruth truth;
-  server::H2Server server(sim, lib.site, server::ServerConfig{}, stls, rng.fork(), &truth);
+  server::H2Server server(sim, lib.site, server::ServerConfig{}, stls, rng.fork(),
+                          &truth);
 
   core::TrafficMonitor monitor(mb);
   core::NetworkController controller(sim, mb, rng.fork());
@@ -198,7 +201,8 @@ double report(const char* name, bool prefetch, bool attack, int runs) {
 int main(int argc, char** argv) {
   const int runs = bench::runs_from_argv(argc, argv, 20);
   bench::print_header("Extension", "streaming traffic (paper SSVII)",
-                      "Recovering the DASH bitrate-rung sequence from segment sizes", runs);
+                      "Recovering the DASH bitrate-rung sequence from segment size"
+                      "s", runs);
 
   std::printf("%-34s | %-12s | %-18s\n", "player / adversary", "mean DoM",
               "rungs recovered (%)");
@@ -207,7 +211,8 @@ int main(int argc, char** argv) {
   const double prefetch = report("prefetching player, passive", true, false, runs);
   const double attacked = report("prefetching player + spacing", true, true, runs);
 
-  std::printf("\nexpected: paced streaming leaks the rung sequence to a passive observer;\n"
+  std::printf("\nexpected: paced streaming leaks the rung sequence to a passive observer;"
+              "\n"
               "prefetch pipelining blurs it (multiplexing); the request-spacing attack\n"
               "restores it — the paper's attack transfers to streaming traffic.\n");
   bench::emit_bench_json("ext_streaming", {{"paced_recovered_pct", paced},

@@ -36,8 +36,10 @@ CaseResult run_case(server::InterleavePolicy policy) {
   sim::Rng rng(7);
 
   web::Site site;
-  const web::ObjectId o1 = site.add("/o1.bin", "image/png", kSizeO1, util::microseconds(200));
-  const web::ObjectId o2 = site.add("/o2.bin", "image/png", kSizeO2, util::microseconds(200));
+  const web::ObjectId o1 = site.add("/o1.bin", "image/png", kSizeO1,
+                                    util::microseconds(200));
+  const web::ObjectId o2 = site.add("/o2.bin", "image/png", kSizeO2,
+                                    util::microseconds(200));
 
   tcp::TcpConfig ccfg, scfg;
   ccfg.local_port = 40'000; ccfg.remote_port = 443;
@@ -55,8 +57,10 @@ CaseResult run_case(server::InterleavePolicy policy) {
     mb.process(net::Direction::kServerToClient, std::move(p));
   });
   net::Link m2c(sim, hop, rng.fork(), [&](net::Packet&& p) { ctcp.on_wire(p.segment); });
-  mb.set_output(net::Direction::kClientToServer, [&](net::Packet&& p) { m2s.send(std::move(p)); });
-  mb.set_output(net::Direction::kServerToClient, [&](net::Packet&& p) { m2c.send(std::move(p)); });
+  mb.set_output(net::Direction::kClientToServer,
+                [&](net::Packet&& p) { m2s.send(std::move(p)); });
+  mb.set_output(net::Direction::kServerToClient,
+                [&](net::Packet&& p) { m2c.send(std::move(p)); });
   ctcp.set_segment_out([&](util::SharedBytes w) {
     c2m.send(net::Packet{0, net::Direction::kClientToServer, std::move(w)});
   });
@@ -104,8 +108,9 @@ CaseResult run_case(server::InterleavePolicy policy) {
   out.bursts = bursts.size();
   for (const auto& b : bursts) {
     // Attribute each burst to the closest true size for reporting.
-    if (std::llabs(static_cast<long long>(b.body_estimate) - static_cast<long long>(kSizeO1)) <
-        std::llabs(static_cast<long long>(b.body_estimate) - static_cast<long long>(kSizeO2))) {
+    const auto est = static_cast<long long>(b.body_estimate);
+    if (std::llabs(est - static_cast<long long>(kSizeO1)) <
+        std::llabs(est - static_cast<long long>(kSizeO2))) {
       if (out.est_o1 == 0) out.est_o1 = b.body_estimate;
     } else if (out.est_o2 == 0) {
       out.est_o2 = b.body_estimate;
@@ -124,15 +129,18 @@ int main(int argc, char** argv) {
 
   const CaseResult seq = run_case(server::InterleavePolicy::kSequential);
   std::printf("Case 1 (no multiplexing, sequential server):\n");
-  std::printf("  DoM(O1)=%.2f DoM(O2)=%.2f   observer estimates: O1≈%zu O2≈%zu (%zu bursts)\n",
+  std::printf("  DoM(O1)=%.2f DoM(O2)=%.2f   observer estimates: "
+              "O1≈%zu O2≈%zu (%zu bursts)\n",
               seq.dom_o1, seq.dom_o2, seq.est_o1, seq.est_o2, seq.bursts);
-  std::printf("  -> both sizes recovered within %lld / %lld bytes\n\n",
-              std::llabs(static_cast<long long>(seq.est_o1) - static_cast<long long>(kSizeO1)),
-              std::llabs(static_cast<long long>(seq.est_o2) - static_cast<long long>(kSizeO2)));
+  std::printf(
+      "  -> both sizes recovered within %lld / %lld bytes\n\n",
+      std::llabs(static_cast<long long>(seq.est_o1) - static_cast<long long>(kSizeO1)),
+      std::llabs(static_cast<long long>(seq.est_o2) - static_cast<long long>(kSizeO2)));
 
   const CaseResult mux = run_case(server::InterleavePolicy::kRoundRobin);
   std::printf("Case 2 (multiplexed, round-robin HTTP/2 server):\n");
-  std::printf("  DoM(O1)=%.2f DoM(O2)=%.2f   observer estimates: O1≈%zu O2≈%zu (%zu bursts)\n",
+  std::printf("  DoM(O1)=%.2f DoM(O2)=%.2f   observer estimates: "
+              "O1≈%zu O2≈%zu (%zu bursts)\n",
               mux.dom_o1, mux.dom_o2, mux.est_o1, mux.est_o2, mux.bursts);
   std::printf("  -> interleaved segments: size estimates no longer match the objects\n");
   bench::emit_bench_json(

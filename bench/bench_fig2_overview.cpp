@@ -16,7 +16,8 @@ int main(int argc, char** argv) {
 
   std::printf("%-14s | %-18s | %-22s | %-16s\n", "spacing d (ms)", "mean DoM(target)",
               "runs with DoM == 0 (%)", "page load (s)");
-  std::printf("---------------+--------------------+------------------------+----------------\n");
+  std::printf("---------------+--------------------+------------------------+------------"
+              "----\n");
   std::vector<std::pair<std::string, double>> headline;
   for (const long ms : {0L, 10L, 25L, 50L, 80L, 100L, 130L, 160L, 200L}) {
     core::RunConfig cfg;
@@ -26,7 +27,8 @@ int main(int argc, char** argv) {
                 batch.mean([](const core::RunResult& r) {
                   return r.html.primary_dom.value_or(0.0);
                 }),
-                batch.pct([](const core::RunResult& r) { return r.html.serialized_primary; }),
+                batch.pct(
+                    [](const core::RunResult& r) { return r.html.serialized_primary; }),
                 batch.mean([](const core::RunResult& r) { return r.page_load_seconds; }));
     if (ms == 0 || ms == 100 || ms == 200) {
       headline.emplace_back(
@@ -35,7 +37,8 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\nexpected shape: spacing must beat BOTH the target's ~25 ms generation\n"
-              "window AND the re-request storms it provokes (Fig. 4); DoM therefore stays\n"
+              "window AND the re-request storms it provokes (Fig. 4); DoM therefore stays"
+              "\n"
               "elevated through the mid range and collapses once d exceeds ~100 ms.\n");
   bench::emit_bench_json("fig2_overview", headline);
   return 0;

@@ -28,8 +28,10 @@ int main(int argc, char** argv) {
               batch.pct([](const core::RunResult& r) {
                 return r.html.primary_dom.value_or(0.0) > 0.9;
               }));
-  std::printf("  runs not multiplexed     : %.0f%% (DoM == 0; paper Table I row 1: 32%%)\n\n",
-              batch.pct([](const core::RunResult& r) { return r.html.serialized_primary; }));
+  std::printf("  runs not multiplexed     : %.0f%% (DoM == 0; paper Table I row 1: 32%%)"
+              "\n\n",
+              batch.pct(
+                  [](const core::RunResult& r) { return r.html.serialized_primary; }));
 
   std::printf("emblem images (5-16 KB, script burst):\n");
   double mean_dom = 0, lo = 1.0, hi = 0.0;
@@ -44,7 +46,8 @@ int main(int argc, char** argv) {
       ++total;
     }
   }
-  std::printf("  mean DoM                 : %.3f over %d servings\n", mean_dom / total, total);
+  std::printf("  mean DoM                 : %.3f over %d servings\n", mean_dom / total,
+              total);
   std::printf("  DoM range                : [%.2f, %.2f]   (paper: 0.80-0.99)\n", lo, hi);
   std::printf("  servings with DoM >= 0.8 : %.0f%%\n\n", 100.0 * in_band / total);
 

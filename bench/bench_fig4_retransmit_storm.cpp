@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
               "duplicate", "target copies", "runs where a copy");
   std::printf("%-14s | %-12s | %-18s | %-20s | %-24s\n", "", "(mean)",
               "responses (mean)", "served (mean)", "overlapped target (%)");
-  std::printf("---------------+--------------+--------------------+----------------------+-------------------------\n");
+  std::printf("---------------+--------------+--------------------+----------------------"
+              "+-------------------------\n");
 
   std::vector<std::pair<std::string, double>> headline;
   for (const long ms : {0L, 25L, 50L, 100L, 150L}) {
@@ -47,7 +48,8 @@ int main(int argc, char** argv) {
         "regets_mean_" + std::to_string(ms) + "ms",
         batch.mean([](const core::RunResult& r) { return r.browser_rerequests; }));
   }
-  std::printf("\nexpected shape: re-GETs and duplicate responses grow with spacing — the\n"
+  std::printf("\nexpected shape: re-GETs and duplicate responses grow with spacing — "
+              "the\n"
               "paper's Fig. 4 mechanism that caps what jitter alone can achieve.\n");
 
   // One storm, drawn: copies ('*' lanes) interleaving around the target.

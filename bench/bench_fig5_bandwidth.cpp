@@ -16,7 +16,8 @@ int main(int argc, char** argv) {
 
   std::printf("%-16s | %-16s | %-14s | %-22s | %-12s\n", "bandwidth (Mbps)",
               "retransmissions", "success (%)", "success via copy (%)", "broken (%)");
-  std::printf("-----------------+------------------+----------------+------------------------+-------------\n");
+  std::printf("-----------------+------------------+----------------+--------------------"
+              "----+-------------\n");
 
   const long caps_mbps[] = {0, 800, 500, 100, 5, 1};  // 0 = unshaped (1000)
   std::vector<std::pair<std::string, double>> headline;
@@ -49,7 +50,8 @@ int main(int argc, char** argv) {
   std::printf("\npaper shape: retransmissions fall monotonically with the cap; success\n"
               "peaks at 800 Mbps; below ~1 Mbps the connection breaks. In our cleaner\n"
               "emulation the 800/500/100 Mbps caps do not bind (a ~1 MB page on a 40 ms\n"
-              "path never exceeds ~100 Mbps), so the mid-range stays flat; the endpoints\n"
+              "path never exceeds ~100 Mbps), so the mid-range stays flat; the endpoints"
+              "\n"
               "(800 Mbps harmless, ~1 Mbps breaking transfers) match the paper. See\n"
               "EXPERIMENTS.md.\n");
   bench::emit_bench_json("fig5_bandwidth", headline);

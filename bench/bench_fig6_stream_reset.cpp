@@ -13,7 +13,8 @@ using namespace h2priv;
 int main(int argc, char** argv) {
   const int runs = bench::runs_from_argv(argc, argv);
   bench::print_header("Figure 6", "Mitra et al., DSN'20, Section IV-D",
-                      "Targeted drops -> stream reset -> clean-slate retransmission", runs);
+                      "Targeted drops -> stream reset -> clean-slate retransmissio"
+                      "n", runs);
 
   std::vector<std::pair<std::string, double>> headline;
   {
@@ -35,9 +36,11 @@ int main(int argc, char** argv) {
     std::printf("  mean RST_STREAM frames sent    : %.1f\n",
                 batch.mean([](const core::RunResult& r) { return r.rst_streams_sent; }));
     std::printf("  target serialized after reset  : %.0f%%  (paper: ~90%%)\n",
-                batch.pct([](const core::RunResult& r) { return r.html.any_serialized_copy; }));
+                batch.pct(
+                    [](const core::RunResult& r) { return r.html.any_serialized_copy; }));
     std::printf("  target identified from records : %.0f%%\n",
-                batch.pct([](const core::RunResult& r) { return r.html.attack_success; }));
+                batch.pct(
+                    [](const core::RunResult& r) { return r.html.attack_success; }));
     std::printf("  broken connections             : %.0f%%\n\n",
                 batch.pct([](const core::RunResult& r) { return r.broken; }));
   }
@@ -57,11 +60,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("drop-fraction sweep (the paper: \"further increasing the packet drop rate\n"
+  std::printf("drop-fraction sweep (the paper: \"further increasing the packet drop rate"
+              "\n"
               "resulted in a broken connection\"):\n");
   std::printf("%-16s | %-12s | %-18s | %-14s | %-12s\n", "drop fraction", "resets",
               "target serialized", "success (%)", "broken (%)");
-  std::printf("-----------------+--------------+--------------------+----------------+------------\n");
+  std::printf("-----------------+--------------+--------------------+----------------+---"
+              "---------\n");
   for (const double frac : {0.4, 0.6, 0.8, 0.9, 0.97}) {
     core::RunConfig cfg;
     cfg.attack_enabled = true;
@@ -70,7 +75,8 @@ int main(int argc, char** argv) {
     const bench::Batch batch = bench::run_batch(cfg, runs);
     std::printf("%-16.2f | %-12.2f | %-18.0f | %-14.0f | %-12.0f\n", frac,
                 batch.mean([](const core::RunResult& r) { return r.reset_episodes; }),
-                batch.pct([](const core::RunResult& r) { return r.html.any_serialized_copy; }),
+                batch.pct(
+                    [](const core::RunResult& r) { return r.html.any_serialized_copy; }),
                 batch.pct([](const core::RunResult& r) { return r.html.attack_success; }),
                 batch.pct([](const core::RunResult& r) { return r.broken; }));
   }

@@ -182,7 +182,8 @@ void BM_H2FrameDecode(benchmark::State& state) {
 BENCHMARK(BM_H2FrameDecode);
 
 void BM_TlsSealOpen(benchmark::State& state) {
-  const util::Bytes plaintext = util::patterned_bytes(static_cast<std::size_t>(state.range(0)), 2);
+  const util::Bytes plaintext =
+      util::patterned_bytes(static_cast<std::size_t>(state.range(0)), 2);
   for (auto _ : state) {
     tls::SealContext seal(1, 0);
     tls::OpenContext open(1, 0);

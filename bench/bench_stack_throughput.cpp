@@ -42,7 +42,9 @@ __attribute__((noinline)) void* operator new(std::size_t n) {
   if (void* p = std::malloc(n)) return p;
   throw std::bad_alloc();
 }
-__attribute__((noinline)) void* operator new[](std::size_t n) { return ::operator new(n); }
+__attribute__((noinline)) void* operator new[](std::size_t n) {
+  return ::operator new(n);
+}
 __attribute__((noinline)) void* operator new(std::size_t n, std::align_val_t a) {
   ++g_allocs;
   g_alloc_bytes += n;
@@ -53,15 +55,22 @@ __attribute__((noinline)) void* operator new(std::size_t n, std::align_val_t a) 
   }
   throw std::bad_alloc();
 }
-__attribute__((noinline)) void* operator new[](std::size_t n, std::align_val_t a) { return ::operator new(n, a); }
+__attribute__((noinline)) void* operator new[](std::size_t n,
+              std::align_val_t a) { return ::operator new(n, a); }
 __attribute__((noinline)) void operator delete(void* p) noexcept { std::free(p); }
 __attribute__((noinline)) void operator delete[](void* p) noexcept { std::free(p); }
-__attribute__((noinline)) void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-__attribute__((noinline)) void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-__attribute__((noinline)) void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
-__attribute__((noinline)) void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
-__attribute__((noinline)) void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
-__attribute__((noinline)) void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete(void* p,
+              std::size_t) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete[](void* p,
+              std::size_t) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete(void* p,
+              std::align_val_t) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete[](void* p,
+              std::align_val_t) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete(void* p, std::size_t,
+              std::align_val_t) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete[](void* p, std::size_t,
+              std::align_val_t) noexcept { std::free(p); }
 
 namespace h2priv {
 namespace {
@@ -186,9 +195,11 @@ ScenarioResult run_scenario(bool mitm, std::uint64_t total_bytes, std::uint64_t 
 }
 
 void print_row(const char* name, const ScenarioResult& r) {
-  std::printf("%-8s | %8.2f MiB | %7.3f s | %9.2f MiB/s | %8.0f pkt/s | %6.2f allocs/pkt\n",
+  std::printf("%-8s | %8.2f MiB | %7.3f s | %9.2f MiB/s | %8.0f pkt/s | %6.2f allocs/pkt"
+              "\n",
               name, static_cast<double>(r.app_bytes) / (1024.0 * 1024.0), r.wall_s,
-              r.bytes_per_s() / (1024.0 * 1024.0), r.packets_per_s(), r.allocs_per_packet());
+              r.bytes_per_s() / (1024.0 * 1024.0), r.packets_per_s(),
+              r.allocs_per_packet());
 }
 
 }  // namespace
@@ -207,10 +218,12 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t total = mib * 1024 * 1024;
 
-  std::printf("==========================================================================\n");
+  std::printf("=========================================================================="
+              "\n");
   std::printf("stack_throughput — end-to-end wire-path speed (%llu MiB per scenario)\n",
               static_cast<unsigned long long>(mib));
-  std::printf("==========================================================================\n");
+  std::printf("=========================================================================="
+              "\n");
 
   const ScenarioResult direct = run_scenario(/*mitm=*/false, total, /*seed=*/7);
   const ScenarioResult mitm = run_scenario(/*mitm=*/true, total, /*seed=*/7);

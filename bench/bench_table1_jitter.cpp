@@ -22,11 +22,13 @@ int main(int argc, char** argv) {
   double baseline_retx = 0.0;
   std::vector<std::pair<std::string, double>> headline;
 
-  std::printf("%-28s | %-28s | %-26s\n", "Increase in delay per", "Cases object of interest",
+  std::printf("%-28s | %-28s | %-26s\n", "Increase in delay per",
+              "Cases object of interest",
               "Increase in no. of");
   std::printf("%-28s | %-28s | %-26s\n", "request (ms)", "was not multiplexed (%)",
               "retransmissions (%)");
-  std::printf("-----------------------------+------------------------------+---------------------------\n");
+  std::printf("-----------------------------+------------------------------+-------------"
+              "--------------\n");
 
   for (const long ms : spacings_ms) {
     core::RunConfig cfg;
@@ -46,9 +48,12 @@ int main(int argc, char** argv) {
     headline.emplace_back("retx_increase_pct_" + std::to_string(ms) + "ms", increase);
   }
 
-  std::printf("\npaper reference:             |  32 / 46 / 54 / 54           |  0 / +33 / +130 / +194\n");
-  std::printf("note: our emulated path is cleaner than the authors' Internet path, so the\n"
-              "0 ms baseline multiplexes more consistently and large spacings stay effective\n"
+  std::printf("\npaper reference:             |  32 / 46 / 54 / 54           |  0 / +33 /"
+              " +130 / +194\n");
+  std::printf("note: our emulated path is cleaner than the authors' Internet path, so the"
+              "\n"
+              "0 ms baseline multiplexes more consistently and large spacings stay effect"
+              "ive\n"
               "(see EXPERIMENTS.md for the fidelity discussion).\n");
   bench::emit_bench_json("table1_jitter", headline);
   return 0;

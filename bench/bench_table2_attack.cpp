@@ -58,20 +58,23 @@ int main(int argc, char** argv) {
   std::printf("\n\n");
 
   std::printf("paper (one at a time):  100 across the board\n");
-  std::printf("paper (all at a time):  90 | 90 | 90 | 85 | 81 | 80 | 62 | 64 | 78(,64)\n");
+  std::printf("paper (all at a time):  90 | 90 | 90 | 85 | 81 | 80 | 62 | 64 | 78(,64)"
+              "\n");
   std::printf("aggregate: %.1f%% of runs complete, %.1f%% broken, "
               "avg %.1f re-GETs, avg %.2f reset episodes, avg %.1f positions correct\n",
               batch.pct([](const core::RunResult& r) { return r.page_complete; }),
               batch.pct([](const core::RunResult& r) { return r.broken; }),
               batch.mean([](const core::RunResult& r) { return r.browser_rerequests; }),
               batch.mean([](const core::RunResult& r) { return r.reset_episodes; }),
-              batch.mean([](const core::RunResult& r) { return r.sequence_positions_correct; }));
+              batch.mean(
+                  [](const core::RunResult& r) { return r.sequence_positions_correct; }));
   bench::emit_bench_json(
       "table2_attack",
       {{"html_success_pct",
         batch.pct([](const core::RunResult& r) { return r.html.attack_success; })},
        {"mean_positions_correct",
-        batch.mean([](const core::RunResult& r) { return r.sequence_positions_correct; })},
+        batch.mean(
+            [](const core::RunResult& r) { return r.sequence_positions_correct; })},
        {"broken_pct", batch.pct([](const core::RunResult& r) { return r.broken; })}});
   return 0;
 }

@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("runs=%d complete=%d broken=%d html_success=%d html_serialized=%d "
-                "html_primary_serial=%d avg_rerequests=%.1f avg_resets=%.2f avg_retx=%.1f\n",
+                "html_primary_serial=%d avg_rerequests=%.1f avg_resets=%.2f avg_retx=%.1f"
+                "\n",
                 runs, complete, broken, html_ok, html_serial, html_not_muxed,
                 rerequests / runs, resets / runs, retx / runs);
     std::printf("avg_burst_drops=%.1f\n", burst_drops / runs);
@@ -74,7 +75,8 @@ int main(int argc, char** argv) {
   // Ground-truth instance dump for the emblems and the HTML (object id 6).
   for (const auto& inst : r.truth->instances()) {
     if (inst.object_id >= 41 || inst.object_id == 6) {
-      std::printf("instance obj=%u stream=%u dup=%d complete=%d bytes=%llu dom=%.3f  data:",
+      std::printf("instance obj=%u stream=%u dup=%d complete=%d bytes=%llu dom=%.3f  data"
+                  ":",
                   inst.object_id, inst.stream_id, inst.duplicate, inst.complete,
                   static_cast<unsigned long long>(inst.data_bytes()),
                   r.truth->degree_of_multiplexing(inst.id));

@@ -71,10 +71,12 @@ int main(int argc, char** argv) {
   for (const auto& o : plain.site.objects()) plain_bytes += o.size;
   for (const auto& o : padded.site.objects()) padded_bytes += o.size;
 
-  std::printf("%-20s | %-26s | %-26s\n", "", "passive eavesdropper", "active adversary (DSN'20)");
+  std::printf("%-20s | %-26s | %-26s\n", "", "passive eavesdropper",
+              "active adversary (DSN'20)");
   std::printf("%-20s | %-12s | %-10s | %-12s | %-10s\n", "defense", "HTML id (%)",
               "rank /8", "HTML id (%)", "rank /8");
-  std::printf("---------------------+--------------+-----------+--------------+-----------\n");
+  std::printf("---------------------+--------------+-----------+--------------+----------"
+              "-\n");
   for (const Defense& defense : defenses) {
     const Score passive = evaluate(defense, false, runs);
     const Score active = evaluate(defense, true, runs);
@@ -84,7 +86,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\npadding overhead: %.1f%% more page bytes (%zu -> %zu)\n",
-              100.0 * (static_cast<double>(padded_bytes) / static_cast<double>(plain_bytes) - 1.0),
+              100.0 * (static_cast<double>(padded_bytes) /
+                           static_cast<double>(plain_bytes) -
+                       1.0),
               plain_bytes, padded_bytes);
   std::printf("\nreading: multiplexing stops the passive attack but NOT the active one\n"
               "(the paper's thesis). Padding kills the size side-channel at a bandwidth\n"

@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
               "           %.0f%% of server->client application packets until the client\n"
               "           resets its streams (or %lld s elapse)\n",
               cfg.attack.target_get_index,
-              static_cast<long long>(cfg.attack.phase2_bandwidth.bits_per_sec / 1'000'000),
+              static_cast<long long>(cfg.attack.phase2_bandwidth.bits_per_sec /
+                                     1'000'000),
               100.0 * cfg.attack.drop_fraction,
               static_cast<long long>(cfg.attack.drop_duration.ns / 1'000'000'000));
   std::printf("  phase 3: widen the spacing to %lld ms; read object sizes off the\n"
@@ -35,7 +36,8 @@ int main(int argc, char** argv) {
 
   const core::RunResult r = core::run_once(cfg);
 
-  std::printf("--- what happened on the victim's connection ---------------------------\n");
+  std::printf("--- what happened on the victim's connection ---------------------------"
+              "\n");
   std::printf("page %s in %.1f s%s; %llu GETs observed; %llu re-GETs provoked;\n"
               "%llu reset episode(s) with %llu RST_STREAM frames\n\n",
               r.page_complete ? "completed" : "DID NOT complete", r.page_load_seconds,
@@ -45,7 +47,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.reset_episodes),
               static_cast<unsigned long long>(r.rst_streams_sent));
 
-  std::printf("--- what the adversary recovered (phase 3 starts at t=%.2f s) ----------\n",
+  std::printf("--- what the adversary recovered (phase 3 starts at t=%.2f s) ----------"
+              "\n",
               r.attack_horizon_seconds);
   std::printf("results HTML (9,500 B): DoM %.2f -> serialized copy %s, identified %s\n",
               r.html.primary_dom.value_or(0.0), r.html.any_serialized_copy ? "yes" : "no",
@@ -64,11 +67,13 @@ int main(int argc, char** argv) {
                 o.label.c_str(), predicted, o.primary_dom.value_or(0.0), o.true_size,
                 o.attack_success ? "BROKEN" : "private");
   }
-  std::printf("\nsurvey ranking recovered: %d/8 positions\n", r.sequence_positions_correct);
+  std::printf("\nsurvey ranking recovered: %d/8 positions\n",
+              r.sequence_positions_correct);
   std::printf("%s\n", r.html.attack_success && r.sequence_positions_correct == 8
                           ? ">>> complete privacy break: the adversary knows the user's "
                             "political ranking."
-                          : ">>> partial break; re-run with other seeds to see the ~85-90% "
+                          : ">>> partial break; re-run with other seeds to see the ~85-90"
+                            "% "
                             "success band.");
   return 0;
 }

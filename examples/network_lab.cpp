@@ -31,11 +31,13 @@ int main(int argc, char** argv) {
     }
   } else {
     if (spacing_ms > 0) cfg.manual_spacing = util::milliseconds(spacing_ms);
-    if (bandwidth_mbps > 0) cfg.manual_bandwidth = util::megabits_per_second(bandwidth_mbps);
+    if (bandwidth_mbps > 0) cfg.manual_bandwidth =
+        util::megabits_per_second(bandwidth_mbps);
   }
 
   std::printf("network_lab: runs=%d spacing=%ldms bandwidth=%s drops=%.2f (%s)\n\n", runs,
-              spacing_ms, bandwidth_mbps > 0 ? (std::to_string(bandwidth_mbps) + " Mbps").c_str()
+              spacing_ms, bandwidth_mbps > 0 ? (std::to_string(bandwidth_mbps) +
+                                                " Mbps").c_str()
                                              : "unshaped",
               drop_frac, cfg.attack_enabled ? "full attack pipeline" : "manual programs");
 

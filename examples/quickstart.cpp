@@ -18,7 +18,8 @@ void print_run(const char* title, const core::RunResult& r) {
               r.page_load_seconds);
   std::printf("  monitor: %llu packets, %d GETs counted\n",
               static_cast<unsigned long long>(r.monitor_packets), r.monitor_gets);
-  std::printf("  retransmission events: %llu (browser re-GETs %llu, TCP %llu), resets: %llu\n",
+  std::printf("  retransmission events: %llu (browser re-GETs %llu, TCP %llu), resets: %l"
+              "lu\n",
               static_cast<unsigned long long>(r.retransmission_events()),
               static_cast<unsigned long long>(r.browser_rerequests),
               static_cast<unsigned long long>(r.tcp_retransmits),
@@ -27,7 +28,8 @@ void print_run(const char* title, const core::RunResult& r) {
               r.html.primary_dom ? std::to_string(*r.html.primary_dom).c_str() : "n/a",
               r.html.any_serialized_copy ? "yes" : "no", r.html.identified ? "yes" : "no",
               r.html.attack_success
-                  ? "PRIVACY BROKEN (a third of baseline runs leak naturally - Table I row 1)"
+                  ? "PRIVACY BROKEN (a third of baseline runs leak naturally - Table I ro"
+                    "w 1)"
                   : "private this run");
   std::printf("  true party order:     ");
   for (const int p : r.true_party_order) std::printf("%d ", p + 1);

@@ -62,7 +62,8 @@ std::optional<SizeCatalog::Entry> SizeCatalog::match(std::size_t estimate,
   const Entry* found = nullptr;
   for (const Entry& e : entries_) {
     const std::size_t tol = std::max(
-        abs_tolerance, static_cast<std::size_t>(frac_tolerance * static_cast<double>(e.body_size)));
+        abs_tolerance,
+        static_cast<std::size_t>(frac_tolerance * static_cast<double>(e.body_size)));
     const std::size_t lo = e.body_size > tol ? e.body_size - tol : 0;
     const std::size_t hi = e.body_size + tol;
     if (estimate >= lo && estimate <= hi) {

@@ -42,7 +42,8 @@ void Fingerprinter::train(const std::string& label, SizeProfile profile) {
   traces_.push_back(Trace{label, std::move(profile)});
 }
 
-Fingerprinter::Verdict Fingerprinter::classify_with_margin(const SizeProfile& probe) const {
+Fingerprinter::Verdict Fingerprinter::classify_with_margin(
+    const SizeProfile& probe) const {
   Verdict v;
   v.best_distance = std::numeric_limits<double>::infinity();
   v.runner_up_distance = std::numeric_limits<double>::infinity();

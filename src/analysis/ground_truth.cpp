@@ -60,7 +60,8 @@ const ResponseInstance* GroundTruth::primary_instance(web::ObjectId object) cons
   return nullptr;
 }
 
-std::vector<const ResponseInstance*> GroundTruth::instances_of(web::ObjectId object) const {
+std::vector<const ResponseInstance*> GroundTruth::instances_of(
+    web::ObjectId object) const {
   std::vector<const ResponseInstance*> out;
   for (const ResponseInstance& inst : instances_) {
     if (inst.object_id == object) out.push_back(&inst);
@@ -81,7 +82,8 @@ double GroundTruth::degree_of_multiplexing(InstanceId id) const {
   }
   if (spans.empty()) return 0.0;
   std::sort(spans.begin(), spans.end(),
-            [](const ByteInterval& a, const ByteInterval& b) { return a.begin < b.begin; });
+            [](const ByteInterval& a,
+               const ByteInterval& b) { return a.begin < b.begin; });
   std::vector<ByteInterval> merged;
   for (const ByteInterval& s : spans) {
     if (!merged.empty() && s.begin <= merged.back().end) {

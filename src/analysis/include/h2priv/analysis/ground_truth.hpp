@@ -42,7 +42,8 @@ struct ResponseInstance {
 
 class GroundTruth {
  public:
-  InstanceId register_instance(web::ObjectId object, std::uint32_t stream_id, bool duplicate);
+  InstanceId register_instance(web::ObjectId object, std::uint32_t stream_id,
+                               bool duplicate);
   void record_data(InstanceId id, h2::WireSpan span);
   void record_headers(InstanceId id, h2::WireSpan span);
   void mark_complete(InstanceId id);
@@ -55,7 +56,8 @@ class GroundTruth {
   /// First (non-duplicate) instance of an object, if any.
   [[nodiscard]] const ResponseInstance* primary_instance(web::ObjectId object) const;
   /// All instances (copies included) of an object.
-  [[nodiscard]] std::vector<const ResponseInstance*> instances_of(web::ObjectId object) const;
+  [[nodiscard]] std::vector<const ResponseInstance*> instances_of(
+      web::ObjectId object) const;
 
   /// The paper's metric: the fraction of this instance's DATA bytes that lie
   /// within the transmission span of some *other* instance on the same TCP

@@ -32,7 +32,8 @@ class MonitorStream {
   [[nodiscard]] const std::vector<RecordObservation>& records() const noexcept {
     return records_;
   }
-  [[nodiscard]] std::uint64_t stream_bytes() const noexcept { return scan_offset_ + pending_.size(); }
+  [[nodiscard]] std::uint64_t stream_bytes() const noexcept { return scan_offset_ +
+                                           pending_.size(); }
 
  private:
   void scan(util::TimePoint now);

@@ -82,10 +82,10 @@ std::string render_timeline(const GroundTruth& truth, const TimelineOptions& opt
                   lane.instance->complete ? "" : "(part)");
     out += label;
     for (int c = 0; c < width; ++c) {
-      const std::uint64_t lo =
-          window_begin + total * static_cast<std::uint64_t>(c) / static_cast<std::uint64_t>(width);
-      const std::uint64_t hi = window_begin + total * (static_cast<std::uint64_t>(c) + 1) /
-                                                 static_cast<std::uint64_t>(width);
+      const auto uc = static_cast<std::uint64_t>(c);
+      const auto uw = static_cast<std::uint64_t>(width);
+      const std::uint64_t lo = window_begin + total * uc / uw;
+      const std::uint64_t hi = window_begin + total * (uc + 1) / uw;
       out += cell_for(*lane.instance, lo, std::max(hi, lo + 1));
     }
     char dom[48];
@@ -93,7 +93,8 @@ std::string render_timeline(const GroundTruth& truth, const TimelineOptions& opt
                   truth.degree_of_multiplexing(lane.instance->id));
     out += dom;
   }
-  out += "('#' bytes of the lane's object; '.' foreign bytes inside its span; '*' re-request copy)\n";
+  out += "('#' bytes of the lane's object; '.' foreign bytes inside its span; '*' re-requ"
+         "est copy)\n";
   return out;
 }
 
@@ -130,7 +131,8 @@ std::string render_around_serialized_copy(const GroundTruth& truth, web::ObjectI
       chosen = inst;  // keep the last such copy
     }
   }
-  if (chosen == nullptr) return render_around_object(truth, object, margin_fraction, width);
+  if (chosen == nullptr) return render_around_object(truth, object, margin_fraction,
+      width);
   const ByteInterval span = *chosen->span();
   const auto margin =
       static_cast<std::uint64_t>(static_cast<double>(span.size()) * margin_fraction);

@@ -14,7 +14,8 @@ void write_packets_csv(std::ostream& os, std::span<const PacketObservation> pack
   os << "time_s,dir,wire_size,seq,ack,flags,payload_len\n";
   for (const PacketObservation& p : packets) {
     os << p.time.seconds() << ',' << dir_name(p.dir) << ',' << p.wire_size << ',' << p.seq
-       << ',' << p.ack << ',' << static_cast<int>(p.flags) << ',' << p.payload_len << '\n';
+       << ',' << p.ack << ',' << static_cast<int>(p.flags) << ',' << p.payload_len <<
+                                                  '\n';
   }
 }
 
@@ -33,7 +34,8 @@ void write_ground_truth_csv(std::ostream& os, const GroundTruth& truth) {
     const double dom = truth.degree_of_multiplexing(inst.id);
     for (const ByteInterval& iv : inst.data) {
       os << inst.id << ',' << inst.object_id << ',' << inst.stream_id << ','
-         << (inst.duplicate ? 1 : 0) << ',' << (inst.complete ? 1 : 0) << ',' << dom << ','
+         << (inst.duplicate ? 1 : 0) << ',' << (inst.complete ? 1 : 0) << ',' << dom <<
+             ','
          << iv.begin << ',' << iv.end << '\n';
     }
   }

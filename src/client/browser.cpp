@@ -9,7 +9,8 @@ BrowserConfig BrowserConfig::firefox_like() {
   BrowserConfig c;
   c.h2.local_settings.initial_window_size = 1 << 20;           // 1 MiB per stream
   c.h2.local_settings.max_concurrent_streams = 256;
-  c.h2.connection_window_extra = 12 * (1 << 20) - 65'535;      // ~12 MiB connection window
+  c.h2.connection_window_extra = 12 * (1 <<
+                                       20) - 65'535;      // ~12 MiB connection window
   return c;
 }
 
@@ -148,7 +149,8 @@ void Browser::issue_request(web::ObjectId object_id, bool is_rerequest) {
 void Browser::arm_stall_timer(web::ObjectId object_id) {
   cancel_stall_timer(object_id);
   const ObjectProgress& p = progress_.at(object_id);
-  util::Duration base = p.response_started ? config_.stream_timeout : config_.pending_timeout;
+  util::Duration base =
+      p.response_started ? config_.stream_timeout : config_.pending_timeout;
   if (!p.response_started) {
     // Unanswered requests back off per retry (stall_current_ holds the
     // stretched value once a retry fired).

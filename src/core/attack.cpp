@@ -2,7 +2,8 @@
 
 namespace h2priv::core {
 
-Attack::Attack(sim::Simulator& sim, TrafficMonitor& monitor, NetworkController& controller,
+Attack::Attack(sim::Simulator& sim, TrafficMonitor& monitor,
+               NetworkController& controller,
                AttackConfig config)
     : sim_(sim), monitor_(monitor), controller_(controller), config_(config) {}
 
@@ -11,7 +12,8 @@ void Attack::arm() {
   if (config_.enable_spacing) {
     controller_.set_request_spacing(config_.phase1_spacing);
   }
-  monitor_.on_get_request = [this](int index, util::TimePoint when) { on_get(index, when); };
+  monitor_.on_get_request = [this](int index,
+                                   util::TimePoint when) { on_get(index, when); };
   // "We continue the packet drops ... until the client sends stream reset":
   // the RST flurry is the cue to lift the drops and move to phase 3.
   monitor_.on_reset_detected = [this](util::TimePoint) { enter_phase3(); };

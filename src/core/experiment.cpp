@@ -118,7 +118,8 @@ RunResult run_once(const RunConfig& config) {
     for (const web::ObjectId id : site.emblems) {
       emblem_paths.push_back(site.site.object(id).path);
     }
-    server_cfg.push_map[site.site.object(site.results_html).path] = std::move(emblem_paths);
+    server_cfg.push_map[site.site.object(site.results_html).path] =
+        std::move(emblem_paths);
   }
   server::H2Server server(sim, site.site, server_cfg, server_tls, server_rng.fork(),
                           truth.get());

@@ -46,7 +46,8 @@ class PartialMatcher {
                                                          int max_objects = 4) const;
 
  private:
-  void search(std::size_t remaining, std::size_t tolerance, std::size_t first, int depth_left,
+  void search(std::size_t remaining, std::size_t tolerance, std::size_t first,
+              int depth_left,
               std::vector<std::size_t>& chosen, std::vector<PartialMatch>& out) const;
 
   analysis::SizeCatalog catalog_;

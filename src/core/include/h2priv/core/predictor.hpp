@@ -42,7 +42,8 @@ class ObjectPredictor {
       const std::vector<std::string>& labels, util::TimePoint from) const;
 
   /// Raw bursts (diagnostics / examples).
-  [[nodiscard]] std::vector<analysis::EstimatedObject> bursts_after(util::TimePoint from) const;
+  [[nodiscard]] std::vector<analysis::EstimatedObject> bursts_after(
+      util::TimePoint from) const;
 
   [[nodiscard]] const analysis::SizeCatalog& catalog() const noexcept { return catalog_; }
 

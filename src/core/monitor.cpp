@@ -4,9 +4,10 @@ namespace h2priv::core {
 
 TrafficMonitor::TrafficMonitor(net::Middlebox& middlebox, MonitorConfig config)
     : config_(config) {
-  middlebox.add_tap([this](net::Direction dir, const net::Packet& p, util::TimePoint now) {
-    on_packet(dir, p, now);
-  });
+  middlebox.add_tap(
+      [this](net::Direction dir, const net::Packet& p, util::TimePoint now) {
+        on_packet(dir, p, now);
+      });
   streams_[static_cast<std::size_t>(net::Direction::kClientToServer)].on_record =
       [this](const analysis::RecordObservation& rec) { on_record(rec); };
 }
@@ -42,7 +43,8 @@ void TrafficMonitor::on_record(const analysis::RecordObservation& rec) {
     }
   }
 
-  if (plaintext < config_.min_get_record_bytes || plaintext > config_.max_get_record_bytes) {
+  if (plaintext < config_.min_get_record_bytes ||
+      plaintext > config_.max_get_record_bytes) {
     return;
   }
   if (setup_skipped_ < config_.setup_records_to_skip) {

@@ -4,7 +4,8 @@
 
 namespace h2priv::core {
 
-void PartialMatcher::search(std::size_t remaining, std::size_t tolerance, std::size_t first,
+void PartialMatcher::search(std::size_t remaining, std::size_t tolerance,
+                            std::size_t first,
                             int depth_left, std::vector<std::size_t>& chosen,
                             std::vector<PartialMatch>& out) const {
   if (remaining <= tolerance && !chosen.empty()) {
@@ -23,7 +24,8 @@ void PartialMatcher::search(std::size_t remaining, std::size_t tolerance, std::s
     const std::size_t cost = entries[i].body_size + per_object_overhead_;
     if (cost > remaining + tolerance) continue;
     chosen.push_back(i);
-    search(remaining > cost ? remaining - cost : 0, tolerance, i + 1, depth_left - 1, chosen,
+    search(remaining > cost ? remaining - cost : 0, tolerance, i + 1, depth_left - 1,
+           chosen,
            out);
     chosen.pop_back();
   }

@@ -4,7 +4,8 @@
 
 namespace h2priv::core {
 
-ObjectPredictor::ObjectPredictor(const TrafficMonitor& monitor, analysis::SizeCatalog catalog,
+ObjectPredictor::ObjectPredictor(const TrafficMonitor& monitor,
+                                 analysis::SizeCatalog catalog,
                                  analysis::BurstConfig burst_config)
     : monitor_(monitor), catalog_(std::move(catalog)), burst_config_(burst_config) {}
 
@@ -23,7 +24,8 @@ std::vector<analysis::EstimatedObject> ObjectPredictor::bursts_after(
 std::vector<Identification> ObjectPredictor::identify_after(util::TimePoint from) const {
   std::vector<Identification> out;
   for (const analysis::EstimatedObject& b : bursts_after(from)) {
-    if (const auto entry = catalog_.match(b.body_estimate, abs_tolerance, frac_tolerance)) {
+    if (const auto entry =
+        catalog_.match(b.body_estimate, abs_tolerance, frac_tolerance)) {
       out.push_back(Identification{entry->label, b.body_estimate, b.first_record});
     }
   }
@@ -44,7 +46,8 @@ std::vector<Identification> ObjectPredictor::predict_sequence(
   for (const Identification& id : identify_after(from)) {
     const auto wanted = std::find(labels.begin(), labels.end(), id.label);
     if (wanted == labels.end()) continue;
-    const auto seen = std::find_if(last.begin(), last.end(), [&](const Identification& e) {
+    const auto seen = std::find_if(last.begin(), last.end(),
+                                   [&](const Identification& e) {
       return e.label == id.label;
     });
     if (seen == last.end()) {
@@ -53,7 +56,8 @@ std::vector<Identification> ObjectPredictor::predict_sequence(
       *seen = id;  // keep the latest occurrence
     }
   }
-  std::sort(last.begin(), last.end(), [](const Identification& a, const Identification& b) {
+  std::sort(last.begin(), last.end(),
+            [](const Identification& a, const Identification& b) {
     return a.when < b.when;
   });
   return last;

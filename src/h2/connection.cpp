@@ -93,13 +93,15 @@ WireSpan Connection::write_frame(const Frame& f) {
 
 const Stream& Connection::stream(std::uint32_t id) const {
   const auto it = streams_.find(id);
-  if (it == streams_.end()) throw std::out_of_range("h2: unknown stream " + std::to_string(id));
+  if (it == streams_.end()) throw std::out_of_range("h2: unknown stream " +
+      std::to_string(id));
   return it->second;
 }
 
 Stream& Connection::require_stream(std::uint32_t id) {
   const auto it = streams_.find(id);
-  if (it == streams_.end()) throw std::out_of_range("h2: unknown stream " + std::to_string(id));
+  if (it == streams_.end()) throw std::out_of_range("h2: unknown stream " +
+      std::to_string(id));
   return it->second;
 }
 
@@ -136,7 +138,8 @@ std::uint32_t Connection::send_request(const hpack::HeaderList& headers,
 }
 
 void Connection::send_response_headers(std::uint32_t stream_id,
-                                       const hpack::HeaderList& headers, bool end_stream) {
+                                       const hpack::HeaderList& headers,
+                                       bool end_stream) {
   Stream& s = require_stream(stream_id);
   if (!s.can_send_data() && s.state != StreamState::kReservedLocal) {
     throw std::logic_error("send_response_headers in state " +
@@ -151,7 +154,8 @@ void Connection::send_response_headers(std::uint32_t stream_id,
 }
 
 void Connection::send_header_block(std::uint32_t stream_id, util::Bytes block,
-                                   bool end_stream, std::optional<PriorityFrame> priority) {
+                                   bool end_stream,
+                                   std::optional<PriorityFrame> priority) {
   // Header blocks larger than the peer's max frame size continue in
   // CONTINUATION frames (RFC 7540 SS4.3).
   std::size_t max_fragment = peer_settings_.max_frame_size;
@@ -173,7 +177,8 @@ void Connection::send_header_block(std::uint32_t stream_id, util::Bytes block,
     write_frame(hf);
     return;
   }
-  hf.header_block.assign(block.begin(), block.begin() + static_cast<std::ptrdiff_t>(max_fragment));
+  hf.header_block.assign(block.begin(),
+                         block.begin() + static_cast<std::ptrdiff_t>(max_fragment));
   write_frame(hf);
   std::size_t pos = max_fragment;
   while (pos < block.size()) {
@@ -194,7 +199,8 @@ std::uint8_t Connection::stream_weight(std::uint32_t stream_id) const {
   return it == stream_weights_.end() ? 16 : it->second;
 }
 
-void Connection::send_data(std::uint32_t stream_id, util::BytesView data, bool end_stream) {
+void Connection::send_data(std::uint32_t stream_id, util::BytesView data,
+                           bool end_stream) {
   Stream& s = require_stream(stream_id);
   if (s.state == StreamState::kClosed) return;  // raced with RST: drop quietly
   if (!s.can_send_data()) {
@@ -266,7 +272,8 @@ std::uint32_t Connection::push_promise(std::uint32_t parent_stream_id,
   if (role_ != Role::kServer) throw std::logic_error("push_promise on client connection");
   if (!peer_settings_.enable_push) throw std::logic_error("peer disabled server push");
   Stream& parent = require_stream(parent_stream_id);
-  if (parent.state == StreamState::kClosed) throw std::logic_error("push on closed stream");
+  if (parent.state ==
+      StreamState::kClosed) throw std::logic_error("push on closed stream");
 
   const std::uint32_t promised = next_promised_id_;
   next_promised_id_ += 2;
@@ -358,7 +365,8 @@ void Connection::grant_receive_credit(Stream* s, std::size_t consumed) {
   if (s != nullptr && s->state != StreamState::kClosed) {
     s->recv_consumed += static_cast<std::int64_t>(consumed);
     if (s->recv_consumed > s->recv_window / 2) {
-      write_frame(WindowUpdateFrame{s->id, util::narrow<std::uint32_t>(s->recv_consumed)});
+      write_frame(
+          WindowUpdateFrame{s->id, util::narrow<std::uint32_t>(s->recv_consumed)});
       s->recv_consumed = 0;
     }
   }
@@ -415,7 +423,8 @@ void Connection::handle_frame(Frame&& f) {
             continuation_end_stream_ = frame.end_stream;
             return;
           }
-          dispatch_headers(frame.stream_id, std::move(frame.header_block), frame.end_stream);
+          dispatch_headers(frame.stream_id, std::move(frame.header_block),
+                           frame.end_stream);
 
         } else if constexpr (std::is_same_v<T, DataFrame>) {
           Stream* s = nullptr;
@@ -440,7 +449,8 @@ void Connection::handle_frame(Frame&& f) {
           if (frame.stream_id == 0) {
             conn_send_window_ += frame.increment;
             drain_blocked_streams();
-          } else if (const auto it = streams_.find(frame.stream_id); it != streams_.end()) {
+          } else if (const auto it = streams_.find(frame.stream_id); it !=
+                                                   streams_.end()) {
             it->second.send_window += frame.increment;
             flush_stream_pending(it->second);
           }
@@ -474,7 +484,8 @@ void Connection::handle_frame(Frame&& f) {
           s.recv_window = config_.local_settings.initial_window_size;
           streams_.emplace(frame.promised_stream_id, std::move(s));
           const hpack::HeaderList headers = hpack_decoder_.decode(frame.header_block);
-          if (on_push_promise) on_push_promise(frame.stream_id, frame.promised_stream_id, headers);
+          if (on_push_promise) on_push_promise(frame.stream_id, frame.promised_stream_id,
+              headers);
 
         } else if constexpr (std::is_same_v<T, PriorityFrame>) {
           // Advisory; the server's weighted scheduler reads the weights.
@@ -483,7 +494,8 @@ void Connection::handle_frame(Frame&& f) {
           if (continuation_stream_ == 0 || frame.stream_id != continuation_stream_) {
             throw FrameError("CONTINUATION without an open header block");
           }
-          continuation_block_.insert(continuation_block_.end(), frame.header_block.begin(),
+          continuation_block_.insert(continuation_block_.end(),
+                                     frame.header_block.begin(),
                                      frame.header_block.end());
           if (frame.end_headers) {
             const std::uint32_t stream_id = continuation_stream_;

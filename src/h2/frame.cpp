@@ -118,7 +118,8 @@ struct Encoder {
   }
 
   void operator()(const SettingsFrame& f) {
-    write_header(w, util::narrow<std::uint32_t>(f.settings.size() * 6), FrameType::kSettings,
+    write_header(w, util::narrow<std::uint32_t>(f.settings.size() * 6),
+                 FrameType::kSettings,
                  f.ack ? kFlagAck : 0, 0);
     for (const Setting& s : f.settings) {
       w.u16(s.id);
@@ -140,7 +141,8 @@ struct Encoder {
   }
 
   void operator()(const GoAwayFrame& f) {
-    write_header(w, util::narrow<std::uint32_t>(8 + f.debug_data.size()), FrameType::kGoAway, 0,
+    write_header(w, util::narrow<std::uint32_t>(8 + f.debug_data.size()),
+                 FrameType::kGoAway, 0,
                  0);
     w.u32(f.last_stream_id & kMaxStreamId);
     w.u32(static_cast<std::uint32_t>(f.error));
@@ -153,7 +155,8 @@ struct Encoder {
   }
 
   void operator()(const ContinuationFrame& f) {
-    write_header(w, util::narrow<std::uint32_t>(f.header_block.size()), FrameType::kContinuation,
+    write_header(w, util::narrow<std::uint32_t>(f.header_block.size()),
+                 FrameType::kContinuation,
                  f.end_headers ? kFlagEndHeaders : 0, f.stream_id);
     w.bytes(f.header_block);
   }
@@ -286,12 +289,15 @@ FrameType frame_type(const Frame& f) noexcept {
         if constexpr (std::is_same_v<T, DataFrame>) return FrameType::kData;
         else if constexpr (std::is_same_v<T, HeadersFrame>) return FrameType::kHeaders;
         else if constexpr (std::is_same_v<T, PriorityFrame>) return FrameType::kPriority;
-        else if constexpr (std::is_same_v<T, RstStreamFrame>) return FrameType::kRstStream;
+        else if constexpr (std::is_same_v<T,
+                           RstStreamFrame>) return FrameType::kRstStream;
         else if constexpr (std::is_same_v<T, SettingsFrame>) return FrameType::kSettings;
-        else if constexpr (std::is_same_v<T, PushPromiseFrame>) return FrameType::kPushPromise;
+        else if constexpr (std::is_same_v<T,
+                           PushPromiseFrame>) return FrameType::kPushPromise;
         else if constexpr (std::is_same_v<T, PingFrame>) return FrameType::kPing;
         else if constexpr (std::is_same_v<T, GoAwayFrame>) return FrameType::kGoAway;
-        else if constexpr (std::is_same_v<T, WindowUpdateFrame>) return FrameType::kWindowUpdate;
+        else if constexpr (std::is_same_v<T,
+                           WindowUpdateFrame>) return FrameType::kWindowUpdate;
         else return FrameType::kContinuation;
       },
       f);
@@ -326,7 +332,8 @@ std::optional<Frame> FrameDecoder::next() {
   util::ByteReader header_reader(buf_.front(kFrameHeaderBytes));
   const FrameHeader h = read_header(header_reader);
   if (h.length > max_frame_size_) {
-    throw FrameError("frame length " + std::to_string(h.length) + " exceeds max frame size");
+    throw FrameError("frame length " + std::to_string(h.length) +
+                     " exceeds max frame size");
   }
   if (buf_.size() < kFrameHeaderBytes + h.length) return std::nullopt;
   const util::BytesView whole = buf_.front(kFrameHeaderBytes + h.length);

@@ -70,17 +70,23 @@ class Connection {
   void ping();
   void goaway(ErrorCode error);
 
-  [[nodiscard]] bool stream_exists(std::uint32_t id) const { return streams_.contains(id); }
+  [[nodiscard]] bool stream_exists(std::uint32_t id) const {
+    return streams_.contains(id);
+  }
   [[nodiscard]] const Stream& stream(std::uint32_t id) const;
   [[nodiscard]] std::size_t open_stream_count() const noexcept;
   /// Streams with body bytes still queued behind flow control.
   [[nodiscard]] std::size_t blocked_stream_count() const noexcept;
-  [[nodiscard]] std::int64_t connection_send_window() const noexcept { return conn_send_window_; }
+  [[nodiscard]] std::int64_t connection_send_window() const noexcept {
+    return conn_send_window_;
+  }
   [[nodiscard]] const Settings& peer_settings() const noexcept { return peer_settings_; }
   [[nodiscard]] const Settings& local_settings() const noexcept {
     return config_.local_settings;
   }
-  [[nodiscard]] bool peer_settings_received() const noexcept { return peer_settings_received_; }
+  [[nodiscard]] bool peer_settings_received() const noexcept {
+    return peer_settings_received_;
+  }
 
   struct H2Stats {
     std::uint64_t frames_sent = 0;
@@ -104,7 +110,8 @@ class Connection {
   std::function<void(std::uint32_t, ErrorCode)> on_rst_stream;
   std::function<void(ErrorCode)> on_goaway;
   /// Client: server push promised a resource on `promised` for `parent`.
-  std::function<void(std::uint32_t parent, std::uint32_t promised, const hpack::HeaderList&)>
+  std::function<void(std::uint32_t parent, std::uint32_t promised,
+                     const hpack::HeaderList&)>
       on_push_promise;
   /// Every frame actually written, with the transport range it landed in.
   std::function<void(std::uint32_t stream_id, FrameType, WireSpan)> on_frame_sent;

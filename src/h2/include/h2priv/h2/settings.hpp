@@ -29,7 +29,8 @@ struct Settings {
     return {
         {static_cast<std::uint16_t>(SettingId::kHeaderTableSize), header_table_size},
         {static_cast<std::uint16_t>(SettingId::kEnablePush), enable_push ? 1u : 0u},
-        {static_cast<std::uint16_t>(SettingId::kMaxConcurrentStreams), max_concurrent_streams},
+        {static_cast<std::uint16_t>(SettingId::kMaxConcurrentStreams),
+            max_concurrent_streams},
         {static_cast<std::uint16_t>(SettingId::kInitialWindowSize), initial_window_size},
         {static_cast<std::uint16_t>(SettingId::kMaxFrameSize), max_frame_size},
         {static_cast<std::uint16_t>(SettingId::kMaxHeaderListSize), max_header_list_size},

@@ -40,7 +40,8 @@ void Stream::open_remote(bool end_stream) {
       state = end_stream ? StreamState::kClosed : StreamState::kHalfClosedLocal;
       break;
     default:
-      throw std::logic_error("HEADERS received in state " + std::string(to_string(state)));
+      throw std::logic_error("HEADERS received in state " +
+                             std::string(to_string(state)));
   }
   if (end_stream) remote_end_seen = true;
 }
@@ -63,7 +64,8 @@ void Stream::end_remote() {
   } else if (state == StreamState::kHalfClosedLocal) {
     state = StreamState::kClosed;
   } else {
-    throw std::logic_error("END_STREAM received in state " + std::string(to_string(state)));
+    throw std::logic_error("END_STREAM received in state " +
+                           std::string(to_string(state)));
   }
 }
 

@@ -33,7 +33,8 @@ constexpr ExactEntry kExact[] = {
     {'y', 0x7a, 7},  {'z', 0x7b, 7},
     {'&', 0xf8, 8},  {'*', 0xf9, 8},  {',', 0xfa, 8},  {';', 0xfb, 8},  {'X', 0xfc, 8},
     {'Z', 0xfd, 8},
-    {'!', 0x3f8, 10}, {'"', 0x3f9, 10}, {'(', 0x3fa, 10}, {')', 0x3fb, 10}, {'?', 0x3fc, 10},
+    {'!', 0x3f8, 10}, {'"', 0x3f9, 10}, {'(', 0x3fa, 10}, {')', 0x3fb, 10}, {'?', 0x3fc,
+        10},
     {'\'', 0x7fa, 11}, {'+', 0x7fb, 11}, {'|', 0x7fc, 11},
     {'#', 0xffa, 12}, {'>', 0xffb, 12},
     {'\0', 0x1ff8, 13}, {'$', 0x1ff9, 13}, {'@', 0x1ffa, 13}, {'[', 0x1ffb, 13},

@@ -53,7 +53,8 @@ class Decoder {
   /// Decodes one header block. Throws HpackError on malformed input.
   [[nodiscard]] HeaderList decode(util::BytesView block);
 
-  /// Upper bound for table-size updates the peer may request (SETTINGS_HEADER_TABLE_SIZE).
+  /// Upper bound for table-size updates the peer may request
+  /// (SETTINGS_HEADER_TABLE_SIZE).
   void set_max_capacity(std::size_t cap) noexcept { max_capacity_ = cap; }
 
   [[nodiscard]] const DynamicTable& table() const noexcept { return table_; }

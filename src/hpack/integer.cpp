@@ -6,7 +6,8 @@ namespace h2priv::hpack {
 
 void encode_integer(util::ByteWriter& w, std::uint8_t first_byte_flags, int prefix_bits,
                     std::uint64_t value) {
-  if (prefix_bits < 1 || prefix_bits > 8) throw std::invalid_argument("prefix_bits out of range");
+  if (prefix_bits < 1 ||
+      prefix_bits > 8) throw std::invalid_argument("prefix_bits out of range");
   const std::uint64_t limit = (1ull << prefix_bits) - 1;
   if (value < limit) {
     w.u8(static_cast<std::uint8_t>(first_byte_flags | value));
@@ -22,7 +23,8 @@ void encode_integer(util::ByteWriter& w, std::uint8_t first_byte_flags, int pref
 }
 
 std::uint64_t decode_integer(util::ByteReader& r, int prefix_bits) {
-  if (prefix_bits < 1 || prefix_bits > 8) throw std::invalid_argument("prefix_bits out of range");
+  if (prefix_bits < 1 ||
+      prefix_bits > 8) throw std::invalid_argument("prefix_bits out of range");
   const std::uint64_t limit = (1ull << prefix_bits) - 1;
   std::uint64_t value = r.u8() & limit;
   if (value < limit) return value;

@@ -264,7 +264,8 @@ inline void sample(Hist h, std::uint64_t v) noexcept { current().sample(h, v); }
 /// kH2*Sent counter block; anything newer/unknown lands in kH2OtherSent.
 [[nodiscard]] constexpr Counter h2_frame_sent_counter(unsigned frame_type) noexcept {
   constexpr auto base = static_cast<std::uint16_t>(Counter::kH2DataSent);
-  return frame_type <= 9 ? static_cast<Counter>(base + frame_type) : Counter::kH2OtherSent;
+  return frame_type <= 9 ? static_cast<Counter>(base +
+                                                frame_type) : Counter::kH2OtherSent;
 }
 
 }  // namespace h2priv::obs

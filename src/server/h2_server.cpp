@@ -102,7 +102,8 @@ void H2Server::spawn_handler(std::uint32_t stream_id, const web::SiteObject& obj
   sim_.schedule(latency, [this, stream_id] { start_handler(stream_id); });
 }
 
-void H2Server::push_mapped_resources(std::uint32_t parent_stream, const std::string& path) {
+void H2Server::push_mapped_resources(std::uint32_t parent_stream,
+                                     const std::string& path) {
   const auto it = config_.push_map.find(path);
   if (it == config_.push_map.end()) return;
   if (!conn_->peer_settings().enable_push) return;

@@ -107,7 +107,8 @@ class H2Server {
   void on_request(std::uint32_t stream_id, const hpack::HeaderList& headers);
   void push_mapped_resources(std::uint32_t parent_stream, const std::string& path);
   void start_handler(std::uint32_t stream_id);
-  void spawn_handler(std::uint32_t stream_id, const web::SiteObject& object, bool duplicate);
+  void spawn_handler(std::uint32_t stream_id, const web::SiteObject& object,
+                     bool duplicate);
   void schedule_pump();
   void pump();
   /// Writes one chunk for the handler; returns true if the handler finished.

@@ -46,7 +46,8 @@ class Rng {
   template <class T>
   void shuffle(std::vector<T>& v) noexcept {
     for (std::size_t i = v.size(); i > 1; --i) {
-      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
       using std::swap;
       swap(v[i - 1], v[j]);
     }

@@ -75,7 +75,8 @@ util::Duration Rng::jittered(util::Duration mean, util::Duration sigma,
   for (int i = 0; i < 12; ++i) acc += uniform();
   const double z = acc - 6.0;
   const double clipped = std::clamp(z, -3.0, 3.0);
-  const auto v = mean.ns + static_cast<std::int64_t>(clipped * static_cast<double>(sigma.ns));
+  const auto v =
+      mean.ns + static_cast<std::int64_t>(clipped * static_cast<double>(sigma.ns));
   return {std::max(v, floor.ns)};
 }
 

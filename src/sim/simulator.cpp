@@ -22,7 +22,8 @@ EventId Simulator::schedule(Duration delay, Task fn) {
 }
 
 EventId Simulator::schedule_at(TimePoint when, Task fn) {
-  if (when < now_) throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  if (when < now_) throw std::invalid_argument("Simulator::schedule_at: time in the pas"
+                                               "t");
   const std::uint64_t seq = next_seq_++;
   const std::uint32_t slot = acquire_slot();
   slots_[slot].fn = std::move(fn);

@@ -33,7 +33,8 @@ void RenoCongestion::on_dup_ack() noexcept {
 
 void RenoCongestion::on_fast_retransmit() noexcept {
   ssthresh_ = std::max<std::uint64_t>(
-      cwnd_ / 2, static_cast<std::uint64_t>(config_.mss) * config_.min_window_segments * 2);
+      cwnd_ / 2,
+      static_cast<std::uint64_t>(config_.mss) * config_.min_window_segments * 2);
   cwnd_ = ssthresh_;
   in_recovery_ = true;
   ca_acc_ = 0;
@@ -45,7 +46,8 @@ void RenoCongestion::on_recovery_exit() noexcept {
 
 void RenoCongestion::on_timeout() noexcept {
   ssthresh_ = std::max<std::uint64_t>(
-      cwnd_ / 2, static_cast<std::uint64_t>(config_.mss) * config_.min_window_segments * 2);
+      cwnd_ / 2,
+      static_cast<std::uint64_t>(config_.mss) * config_.min_window_segments * 2);
   cwnd_ = static_cast<std::uint64_t>(config_.mss) * config_.min_window_segments;
   in_recovery_ = false;
   ca_acc_ = 0;

@@ -72,7 +72,8 @@ std::uint64_t Connection::send(util::BytesView data) {
   obs_->gauge_max(obs::Gauge::kTcpSendBufferBytes, send_buf_.outstanding());
   const std::uint64_t sent_offset =
       snd_nxt_ > 0 ? std::min(offset_of(snd_nxt_), send_buf_.end()) : 0;
-  if (static_cast<std::int64_t>(send_buf_.end() - sent_offset) >= config_.writable_watermark) {
+  if (static_cast<std::int64_t>(send_buf_.end() - sent_offset) >=
+      config_.writable_watermark) {
     was_unwritable_ = true;
   }
   pump();
@@ -89,7 +90,8 @@ std::int64_t Connection::send_capacity() const noexcept {
 void Connection::close() {
   if (fin_queued_ || state_ == State::kClosed) return;
   fin_queued_ = true;
-  if (state_ == State::kEstablished || state_ == State::kSynRcvd || state_ == State::kSynSent) {
+  if (state_ == State::kEstablished || state_ == State::kSynRcvd || state_ ==
+      State::kSynSent) {
     state_ = State::kFinWait1;
   } else if (state_ == State::kCloseWait) {
     state_ = State::kLastAck;
@@ -176,7 +178,8 @@ void Connection::ack_received_data(bool out_of_order) {
 void Connection::pump() {
   const bool can_send_data =
       state_ == State::kEstablished || state_ == State::kCloseWait ||
-      state_ == State::kFinWait1 || state_ == State::kLastAck || state_ == State::kClosing;
+      state_ == State::kFinWait1 || state_ == State::kLastAck || state_ ==
+          State::kClosing;
   if (!can_send_data || snd_nxt_ == 0) return;
 
   // RFC 2861: an idle sender must not dump a stale, possibly huge window
@@ -485,7 +488,8 @@ void Connection::handle_ack(const SegmentView& s) {
   }
 
   // Duplicate ACK: does not advance, carries no data, with data outstanding.
-  if (s.ack == snd_una_ && snd_nxt_ > snd_una_ && s.payload.empty() && !s.syn() && !s.fin()) {
+  if (s.ack == snd_una_ && snd_nxt_ > snd_una_ && s.payload.empty() && !s.syn() &&
+      !s.fin()) {
     ++stats_.dup_acks_received;
     if (in_recovery_) {
       recovery_inflation_ += config_.mss;

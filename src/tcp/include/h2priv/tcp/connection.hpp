@@ -127,7 +127,8 @@ class Connection {
 
   // --- observability -------------------------------------------------------
   [[nodiscard]] State state() const noexcept { return state_; }
-  [[nodiscard]] bool established() const noexcept { return state_ == State::kEstablished; }
+  [[nodiscard]] bool established() const noexcept { return state_ ==
+                                 State::kEstablished; }
   [[nodiscard]] const TcpStats& stats() const noexcept { return stats_; }
   /// Total application bytes ever enqueued (== next send()'s stream offset).
   [[nodiscard]] std::uint64_t bytes_enqueued() const noexcept { return send_buf_.end(); }
@@ -145,8 +146,12 @@ class Connection {
 
  private:
   // seq <-> application stream offset (data starts at seq 1).
-  [[nodiscard]] std::uint64_t offset_of(std::uint64_t seq) const noexcept { return seq - 1; }
-  [[nodiscard]] std::uint64_t seq_of(std::uint64_t offset) const noexcept { return offset + 1; }
+  [[nodiscard]] std::uint64_t offset_of(std::uint64_t seq) const noexcept {
+    return seq - 1;
+  }
+  [[nodiscard]] std::uint64_t seq_of(std::uint64_t offset) const noexcept {
+    return offset + 1;
+  }
   [[nodiscard]] std::uint64_t fin_seq() const noexcept { return seq_of(send_buf_.end()); }
 
   void emit(SegmentView s);

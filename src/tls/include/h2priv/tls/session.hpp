@@ -48,7 +48,9 @@ class Session {
 
   [[nodiscard]] bool established() const noexcept { return established_; }
   [[nodiscard]] std::uint64_t app_bytes_sent() const noexcept { return app_bytes_sent_; }
-  [[nodiscard]] std::uint64_t app_bytes_received() const noexcept { return app_bytes_received_; }
+  [[nodiscard]] std::uint64_t app_bytes_received() const noexcept {
+    return app_bytes_received_;
+  }
   [[nodiscard]] tcp::Connection& transport() noexcept { return tcp_; }
 
   std::function<void()> on_established;                ///< handshake done

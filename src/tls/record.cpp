@@ -41,7 +41,8 @@ void keystream_xor(std::uint64_t secret, std::uint8_t domain, std::uint64_t seq,
 /// 16-byte tag over the plaintext (keyed digest). The first 8 bytes are a
 /// serial mix chain (one data-dependent mix per byte — deliberately slow to
 /// forge); the last 8 are a keyed polynomial checksum.
-std::array<std::uint8_t, kAeadOverhead> compute_tag(std::uint64_t secret, std::uint8_t domain,
+std::array<std::uint8_t, kAeadOverhead> compute_tag(std::uint64_t secret,
+                                                    std::uint8_t domain,
                                                     std::uint64_t seq,
                                                     util::BytesView plaintext) noexcept {
   std::uint64_t h1 = mix(secret ^ 0x746167u ^ seq);  // "tag"
@@ -132,7 +133,8 @@ std::size_t SealContext::sealed_size(std::size_t plaintext_len) noexcept {
 OpenContext::Record OpenContext::open_one(util::BytesView wire, std::size_t& consumed) {
   RecordHeader hdr{};
   if (!parse_header(wire, hdr)) throw TlsError("open_one: truncated header");
-  if (wire.size() < kHeaderBytes + hdr.ciphertext_len) throw TlsError("open_one: truncated body");
+  if (wire.size() < kHeaderBytes +
+      hdr.ciphertext_len) throw TlsError("open_one: truncated body");
   if (hdr.ciphertext_len < kAeadOverhead) throw TlsError("open_one: body below tag size");
 
   const std::uint64_t seq = seq_++;

@@ -15,17 +15,26 @@ namespace h2priv::util {
 struct Duration {
   std::int64_t ns = 0;
 
-  friend constexpr Duration operator+(Duration a, Duration b) noexcept { return {a.ns + b.ns}; }
-  friend constexpr Duration operator-(Duration a, Duration b) noexcept { return {a.ns - b.ns}; }
-  friend constexpr Duration operator*(Duration a, std::int64_t k) noexcept { return {a.ns * k}; }
-  friend constexpr Duration operator*(std::int64_t k, Duration a) noexcept { return {a.ns * k}; }
-  friend constexpr Duration operator/(Duration a, std::int64_t k) noexcept { return {a.ns / k}; }
+  friend constexpr Duration operator+(Duration a,
+                                      Duration b) noexcept { return {a.ns + b.ns}; }
+  friend constexpr Duration operator-(Duration a,
+                                      Duration b) noexcept { return {a.ns - b.ns}; }
+  friend constexpr Duration operator*(Duration a,
+                                      std::int64_t k) noexcept { return {a.ns * k}; }
+  friend constexpr Duration operator*(std::int64_t k,
+                                      Duration a) noexcept { return {a.ns * k}; }
+  friend constexpr Duration operator/(Duration a,
+                                      std::int64_t k) noexcept { return {a.ns / k}; }
   constexpr Duration& operator+=(Duration o) noexcept { ns += o.ns; return *this; }
   constexpr Duration& operator-=(Duration o) noexcept { ns -= o.ns; return *this; }
   friend constexpr auto operator<=>(Duration, Duration) noexcept = default;
 
-  [[nodiscard]] constexpr double seconds() const noexcept { return static_cast<double>(ns) / 1e9; }
-  [[nodiscard]] constexpr double millis() const noexcept { return static_cast<double>(ns) / 1e6; }
+  [[nodiscard]] constexpr double seconds() const noexcept {
+    return static_cast<double>(ns) / 1e9;
+  }
+  [[nodiscard]] constexpr double millis() const noexcept {
+    return static_cast<double>(ns) / 1e6;
+  }
 };
 
 constexpr Duration nanoseconds(std::int64_t v) noexcept { return {v}; }
@@ -37,14 +46,22 @@ constexpr Duration seconds(std::int64_t v) noexcept { return {v * 1'000'000'000}
 struct TimePoint {
   std::int64_t ns = 0;
 
-  friend constexpr TimePoint operator+(TimePoint t, Duration d) noexcept { return {t.ns + d.ns}; }
-  friend constexpr TimePoint operator+(Duration d, TimePoint t) noexcept { return {t.ns + d.ns}; }
-  friend constexpr TimePoint operator-(TimePoint t, Duration d) noexcept { return {t.ns - d.ns}; }
-  friend constexpr Duration operator-(TimePoint a, TimePoint b) noexcept { return {a.ns - b.ns}; }
+  friend constexpr TimePoint operator+(TimePoint t,
+                                       Duration d) noexcept { return {t.ns + d.ns}; }
+  friend constexpr TimePoint operator+(Duration d,
+                                       TimePoint t) noexcept { return {t.ns + d.ns}; }
+  friend constexpr TimePoint operator-(TimePoint t,
+                                       Duration d) noexcept { return {t.ns - d.ns}; }
+  friend constexpr Duration operator-(TimePoint a,
+                                      TimePoint b) noexcept { return {a.ns - b.ns}; }
   friend constexpr auto operator<=>(TimePoint, TimePoint) noexcept = default;
 
-  [[nodiscard]] constexpr double seconds() const noexcept { return static_cast<double>(ns) / 1e9; }
-  [[nodiscard]] constexpr double millis() const noexcept { return static_cast<double>(ns) / 1e6; }
+  [[nodiscard]] constexpr double seconds() const noexcept {
+    return static_cast<double>(ns) / 1e9;
+  }
+  [[nodiscard]] constexpr double millis() const noexcept {
+    return static_cast<double>(ns) / 1e6;
+  }
 };
 
 /// Link rate in bits per second.
@@ -64,6 +81,8 @@ struct BitRate {
 constexpr BitRate bits_per_second(std::int64_t v) noexcept { return {v}; }
 constexpr BitRate kilobits_per_second(std::int64_t v) noexcept { return {v * 1'000}; }
 constexpr BitRate megabits_per_second(std::int64_t v) noexcept { return {v * 1'000'000}; }
-constexpr BitRate gigabits_per_second(std::int64_t v) noexcept { return {v * 1'000'000'000}; }
+constexpr BitRate gigabits_per_second(std::int64_t v) noexcept {
+  return {v * 1'000'000'000};
+}
 
 }  // namespace h2priv::util

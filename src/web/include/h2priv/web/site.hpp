@@ -36,7 +36,9 @@ class Site {
 
   [[nodiscard]] const SiteObject* find_by_path(std::string_view path) const;
   [[nodiscard]] const SiteObject& object(ObjectId id) const;
-  [[nodiscard]] const std::vector<SiteObject>& objects() const noexcept { return objects_; }
+  [[nodiscard]] const std::vector<SiteObject>& objects() const noexcept {
+    return objects_;
+  }
 
  private:
   std::vector<SiteObject> objects_;

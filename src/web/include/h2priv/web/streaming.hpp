@@ -31,8 +31,8 @@ struct StreamingLibrary {
   }
   [[nodiscard]] static std::size_t rung_bytes(int rung) {
     // bits/s * 2 s / 8, with a per-segment container overhead.
-    return static_cast<std::size_t>(kLadderKbps.at(static_cast<std::size_t>(rung))) * 250 +
-           800;
+    const auto kbps = kLadderKbps.at(static_cast<std::size_t>(rung));
+    return static_cast<std::size_t>(kbps) * 250 + 800;
   }
   std::vector<ObjectId> ids;
 };

@@ -93,7 +93,8 @@ IsideWithPlan build_isidewith_plan(const IsideWithSite& site, sim::Rng& rng,
     const int party = order[static_cast<std::size_t>(pos)];
     plan.items.push_back(
         {site.emblems[static_cast<std::size_t>(party)],
-         pos == 0 ? util::Duration{} : tuning.emblem_iats[static_cast<std::size_t>(pos - 1)],
+         pos ==
+             0 ? util::Duration{} : tuning.emblem_iats[static_cast<std::size_t>(pos - 1)],
          true});
   }
   return out;

@@ -109,7 +109,8 @@ TEST_P(FingerprintProperty, ClosedWorldRecoveryUnderNoise) {
   EXPECT_GE(correct, 11) << "noise well below inter-page distances";
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FingerprintProperty, ::testing::Range<std::uint64_t>(0, 6));
+INSTANTIATE_TEST_SUITE_P(Seeds, FingerprintProperty,
+                         ::testing::Range<std::uint64_t>(0, 6));
 
 }  // namespace
 }  // namespace h2priv::analysis

@@ -7,7 +7,8 @@ namespace h2priv::analysis {
 namespace {
 
 InstanceId add_instance(GroundTruth& gt, web::ObjectId obj,
-                        std::initializer_list<std::pair<std::uint64_t, std::uint64_t>> spans,
+                        std::initializer_list<std::pair<std::uint64_t, std::uint64_t>>
+                            spans,
                         bool dup = false, bool complete = true) {
   const InstanceId id = gt.register_instance(obj, obj * 2 + 1, dup);
   for (const auto& [b, e] : spans) gt.record_data(id, h2::WireSpan{b, e});

@@ -47,10 +47,12 @@ TEST(MonitorStream, RecordSplitAcrossPackets) {
       seal.seal(tls::ContentType::kApplicationData, util::patterned_bytes(3'000, 3));
   MonitorStream ms(net::Direction::kServerToClient);
   const std::size_t half = wire.size() / 2;
-  ms.on_packet(packet_at(1, half), util::BytesView(wire.data(), half), util::TimePoint{1});
+  ms.on_packet(packet_at(1, half), util::BytesView(wire.data(), half),
+               util::TimePoint{1});
   EXPECT_TRUE(ms.records().empty());
   ms.on_packet(packet_at(1 + half, wire.size() - half),
-               util::BytesView(wire.data() + half, wire.size() - half), util::TimePoint{2});
+               util::BytesView(wire.data() + half,
+                               wire.size() - half), util::TimePoint{2});
   ASSERT_EQ(ms.records().size(), 1u);
   EXPECT_EQ(ms.records()[0].time.ns, 2) << "record completes with the second packet";
 }
@@ -63,9 +65,11 @@ TEST(MonitorStream, OutOfOrderPacketsReassemble) {
   const std::size_t half = wire.size() / 2;
   // Second half arrives first.
   ms.on_packet(packet_at(1 + half, wire.size() - half),
-               util::BytesView(wire.data() + half, wire.size() - half), util::TimePoint{1});
+               util::BytesView(wire.data() + half,
+                               wire.size() - half), util::TimePoint{1});
   EXPECT_TRUE(ms.records().empty());
-  ms.on_packet(packet_at(1, half), util::BytesView(wire.data(), half), util::TimePoint{2});
+  ms.on_packet(packet_at(1, half), util::BytesView(wire.data(), half),
+               util::TimePoint{2});
   ASSERT_EQ(ms.records().size(), 1u);
 }
 
@@ -84,7 +88,8 @@ TEST(MonitorStream, CallbackFiresPerRecord) {
   util::Bytes wire;
   for (int i = 0; i < 3; ++i) {
     const util::Bytes rec = seal.seal(tls::ContentType::kApplicationData,
-                                      util::patterned_bytes(50, static_cast<std::uint32_t>(i)));
+                                      util::patterned_bytes(
+                                          50, static_cast<std::uint32_t>(i)));
     wire.insert(wire.end(), rec.begin(), rec.end());
   }
   MonitorStream ms(net::Direction::kServerToClient);
@@ -105,7 +110,8 @@ TEST(MonitorStream, ManyRecordsAcrossManySegments) {
   util::Bytes stream;
   for (int i = 0; i < 40; ++i) {
     const util::Bytes rec = seal.seal(tls::ContentType::kApplicationData,
-                                      util::patterned_bytes(997, static_cast<std::uint32_t>(i)));
+                                      util::patterned_bytes(
+                                          997, static_cast<std::uint32_t>(i)));
     stream.insert(stream.end(), rec.begin(), rec.end());
   }
   MonitorStream ms(net::Direction::kServerToClient);

@@ -22,7 +22,8 @@ TEST(TraceExport, PacketsCsvShape) {
   std::ostringstream os;
   write_packets_csv(os, packets);
   const std::string out = os.str();
-  EXPECT_NE(out.find("time_s,dir,wire_size,seq,ack,flags,payload_len\n"), std::string::npos);
+  EXPECT_NE(out.find("time_s,dir,wire_size,seq,ack,flags,payload_len\n"),
+            std::string::npos);
   EXPECT_NE(out.find("1.5,c2s,100,1,2,2,52\n"), std::string::npos);
   EXPECT_NE(out.find(",s2c,"), std::string::npos);
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);

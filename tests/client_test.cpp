@@ -26,7 +26,8 @@ struct PageFixture {
                        TcpPairConfig transport_cfg = {},
                        util::Duration first_gap = {})
       : stack(transport_cfg) {
-    const web::ObjectId a = site.add("/a.css", "text/css", 4'000, util::microseconds(300));
+    const web::ObjectId a = site.add("/a.css", "text/css",
+                                     4'000, util::microseconds(300));
     const web::ObjectId b =
         site.add("/page.html", "text/html", 9'000, util::milliseconds(5));
     const web::ObjectId c = site.add("/late-1.png", "image/png", 6'000,

@@ -65,7 +65,8 @@ TEST(NetworkController, PureAcksBypassSpacing) {
   f.controller.set_request_spacing(milliseconds(50));
   f.mb.process(net::Direction::kClientToServer,
                f.payload_packet(net::Direction::kClientToServer));
-  f.mb.process(net::Direction::kClientToServer, f.ack_packet(net::Direction::kClientToServer));
+  f.mb.process(net::Direction::kClientToServer,
+               f.ack_packet(net::Direction::kClientToServer));
   f.mb.process(net::Direction::kClientToServer,
                f.payload_packet(net::Direction::kClientToServer));
   f.sim.run();
@@ -126,7 +127,8 @@ TEST(NetworkController, DropsTargetPayloadPacketsOnly) {
   for (int i = 0; i < 5; ++i) {
     f.mb.process(net::Direction::kServerToClient,
                  f.payload_packet(net::Direction::kServerToClient));
-    f.mb.process(net::Direction::kServerToClient, f.ack_packet(net::Direction::kServerToClient));
+    f.mb.process(net::Direction::kServerToClient,
+                 f.ack_packet(net::Direction::kServerToClient));
   }
   f.sim.run_until(util::TimePoint{} + util::seconds(1));
   EXPECT_EQ(f.s2c_arrivals.size(), 5u) << "ACKs pass; application packets die";

@@ -50,7 +50,8 @@ TEST_P(GoldenTrace, WireBytesAndScoredFieldsAreBitIdentical) {
   const TraceDigest got = hash_run(cfg);
   std::printf("  {\"%s\", %llu, %s, %ld,\n   0x%016" PRIx64 "ull, 0x%016" PRIx64
               "ull, %llu},\n",
-              c.name, static_cast<unsigned long long>(c.seed), c.attack ? "true" : "false",
+              c.name, static_cast<unsigned long long>(c.seed), c.attack ? "tru"
+                                                                          "e" : "false",
               c.spacing_ms, got.wire, got.scored,
               static_cast<unsigned long long>(got.packets));
 

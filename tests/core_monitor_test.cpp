@@ -37,7 +37,8 @@ struct MonitorFixture {
     seg.flags = tcp::kFlagAck;
     seg.payload = payload;
     client_seq += payload.size();
-    mb.process(net::Direction::kClientToServer, net::Packet{0, net::Direction::kClientToServer, seg.encode()});
+    mb.process(net::Direction::kClientToServer,
+               net::Packet{0, net::Direction::kClientToServer, seg.encode()});
     sim.run();
   }
 
@@ -80,7 +81,8 @@ TEST(TrafficMonitor, GetCallbackReportsIndexAndTime) {
   MonitorFixture f;
   f.client_records({45});  // setup
   std::vector<int> indices;
-  f.monitor.on_get_request = [&](int index, util::TimePoint) { indices.push_back(index); };
+  f.monitor.on_get_request = [&](int index,
+                                 util::TimePoint) { indices.push_back(index); };
   f.client_records({50});
   f.client_records({50});
   EXPECT_EQ(indices, (std::vector<int>{1, 2}));

@@ -246,7 +246,8 @@ TEST(H2Connection, ServerPushDeliversPromisedResource) {
   pair.start();
   pair.server->on_request = [&](std::uint32_t id, const hpack::HeaderList&, bool) {
     pair.server->send_response_headers(id, {{":status", "200"}});
-    const std::uint32_t promised = pair.server->push_promise(id, get_request("/style.css"));
+    const std::uint32_t promised = pair.server->push_promise(id,
+                                                             get_request("/style.css"));
     pair.server->send_data(id, util::patterned_bytes(100, 5), true);
     pair.server->send_response_headers(promised, {{":status", "200"}});
     pair.server->send_data(promised, util::patterned_bytes(700, 6), true);
@@ -277,7 +278,8 @@ TEST(H2Connection, PushRejectedWhenPeerDisablesIt) {
   ConnPair pair(client_cfg);
   pair.start();
   pair.server->on_request = [&](std::uint32_t id, const hpack::HeaderList&, bool) {
-    EXPECT_THROW((void)pair.server->push_promise(id, get_request("/x")), std::logic_error);
+    EXPECT_THROW((void)pair.server->push_promise(id, get_request("/x")),
+                 std::logic_error);
   };
   (void)pair.client->send_request(get_request("/index.html"));
   pair.pump();

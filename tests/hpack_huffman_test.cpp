@@ -49,7 +49,8 @@ TEST(Huffman, DecodeInvertsEncode) {
 }
 
 TEST(Huffman, EncodedSizeMatchesEncodeOutput) {
-  for (const std::string s : {"", "x", "www.example.com", "a longer string, with punctuation."}) {
+  for (const std::string s :
+       {"", "x", "www.example.com", "a longer string, with punctuation."}) {
     EXPECT_EQ(huffman_encoded_size(s), huffman_encode(s).size());
   }
 }

@@ -87,7 +87,8 @@ TEST_P(IntegerSweep, ExhaustiveSmallValues) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Prefixes, IntegerSweep, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+INSTANTIATE_TEST_SUITE_P(Prefixes, IntegerSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
 }  // namespace
 }  // namespace h2priv::hpack

@@ -94,7 +94,8 @@ TEST(Middlebox, BandwidthShapingSerializesFifo) {
   // 8 Mbps = 1 byte/us; 100-byte payload + 20 IP = 120 us per packet.
   f.mb.set_bandwidth_limit(Direction::kServerToClient, util::megabits_per_second(8));
   for (int i = 0; i < 3; ++i) {
-    f.mb.process(Direction::kServerToClient, make_packet(100, Direction::kServerToClient));
+    f.mb.process(Direction::kServerToClient,
+                 make_packet(100, Direction::kServerToClient));
   }
   f.sim.run();
   ASSERT_EQ(f.s2c_out.size(), 3u);
@@ -135,7 +136,8 @@ TEST(Middlebox, HoldFnMustNotReleaseEarly) {
     return ready - milliseconds(1);
   });
   EXPECT_THROW(
-      f.mb.process(Direction::kClientToServer, make_packet(10, Direction::kClientToServer)),
+      f.mb.process(Direction::kClientToServer,
+                   make_packet(10, Direction::kClientToServer)),
       std::logic_error);
 }
 

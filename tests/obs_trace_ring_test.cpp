@@ -56,7 +56,8 @@ TEST(TraceRing, WrapAroundKeepsNewestInOrder) {
   TraceRing ring;
   ring.set_capacity(4);
   for (std::uint64_t i = 0; i < 10; ++i) {
-    ring.push(static_cast<std::int64_t>(i), TraceLayer::kTcp, TraceEvent::kRtoFired, i, 0);
+    ring.push(static_cast<std::int64_t>(i), TraceLayer::kTcp, TraceEvent::kRtoFired, i,
+              0);
   }
   EXPECT_EQ(ring.total_pushed(), 10u);
   EXPECT_EQ(ring.size(), 4u);

@@ -29,8 +29,9 @@ struct ServerFixture {
     server = std::make_unique<H2Server>(stack.sim(), site, config, *stack.server_tls,
                                         sim::Rng(5), &truth);
     client = std::make_unique<h2::Connection>(
-        h2::Role::kClient, h2::ConnectionConfig{.local_settings = {.initial_window_size = 1 << 20},
-                                                .connection_window_extra = 1 << 22},
+        h2::Role::kClient,
+        h2::ConnectionConfig{.local_settings = {.initial_window_size = 1 << 20},
+                             .connection_window_extra = 1 << 22},
         [this](util::BytesView b) {
           const tls::WireRange r = stack.client_tls->send_app(b);
           return h2::WireSpan{r.begin, r.end};
@@ -178,7 +179,8 @@ TEST(H2Server, ResponseCompleteCallbackFires) {
   ServerFixture f;
   ASSERT_TRUE(f.establish());
   web::ObjectId completed = 0;
-  f.server->on_response_complete = [&](web::ObjectId id, std::uint32_t) { completed = id; };
+  f.server->on_response_complete = [&](web::ObjectId id,
+                                       std::uint32_t) { completed = id; };
   f.client->on_data = [](std::uint32_t, util::BytesView, bool) {};
   (void)f.get("/small.html");
   f.stack.run_for(seconds(5));

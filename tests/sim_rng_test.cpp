@@ -140,7 +140,8 @@ TEST_P(RngSeedSweep, UniformIntIsRoughlyUniform) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep, ::testing::Values(0, 1, 42, 0xdeadbeef, ~0ull));
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0, 1, 42, 0xdeadbeef, ~0ull));
 
 }  // namespace
 }  // namespace h2priv::sim

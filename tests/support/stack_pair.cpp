@@ -4,8 +4,10 @@ namespace h2priv::testing {
 
 StackPair::StackPair(TcpPairConfig config) : transport(config) {
   const std::uint64_t secret = config.seed ^ 0x544c53u;  // "TLS"
-  client_tls = std::make_unique<tls::Session>(tls::Role::kClient, secret, *transport.client);
-  server_tls = std::make_unique<tls::Session>(tls::Role::kServer, secret, *transport.server);
+  client_tls = std::make_unique<tls::Session>(tls::Role::kClient, secret,
+                                              *transport.client);
+  server_tls = std::make_unique<tls::Session>(tls::Role::kServer, secret,
+                                              *transport.server);
 }
 
 bool StackPair::establish(util::Duration budget) {

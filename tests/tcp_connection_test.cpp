@@ -125,8 +125,10 @@ TEST(TcpConnection, OrderlyCloseReachesBothSides) {
   ASSERT_TRUE(pair.establish());
   CloseReason client_reason{}, server_reason{};
   bool client_closed = false, server_closed = false;
-  pair.client->on_closed = [&](CloseReason r) { client_closed = true; client_reason = r; };
-  pair.server->on_closed = [&](CloseReason r) { server_closed = true; server_reason = r; };
+  pair.client->on_closed = [&](CloseReason r) { client_closed = true; client_reason =
+                               r; };
+  pair.server->on_closed = [&](CloseReason r) { server_closed = true; server_reason =
+                               r; };
   pair.client->send(util::patterned_bytes(100, 1));
   pair.client->close();
   pair.run_for(seconds(1));

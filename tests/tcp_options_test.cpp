@@ -19,7 +19,9 @@ TEST(TcpNagle, CoalescesSmallWritesWhileDataOutstanding) {
   TcpPair pair(cfg);
   ASSERT_TRUE(pair.establish());
   util::Bytes got;
-  pair.server->on_data = [&](util::BytesView d) { got.insert(got.end(), d.begin(), d.end()); };
+  pair.server->on_data = [&](util::BytesView d) {
+    got.insert(got.end(), d.begin(), d.end());
+  };
 
   // 20 tiny writes in one instant: the first goes out alone, the rest
   // coalesce behind it instead of producing 20 tinygrams.
@@ -54,7 +56,9 @@ TEST(TcpNagle, FullSegmentsAreNeverHeld) {
   TcpPair pair(cfg);
   ASSERT_TRUE(pair.establish());
   util::Bytes got;
-  pair.server->on_data = [&](util::BytesView d) { got.insert(got.end(), d.begin(), d.end()); };
+  pair.server->on_data = [&](util::BytesView d) {
+    got.insert(got.end(), d.begin(), d.end());
+  };
   pair.client->send(util::patterned_bytes(50'000, 1));
   pair.run_for(seconds(5));
   EXPECT_EQ(got, util::patterned_bytes(50'000, 1));
@@ -77,7 +81,8 @@ TEST(TcpDelayedAck, HalvesAckVolumeOnBulkTransfer) {
     const auto feed = [&] {
       while (sent < payload.size() && pair.client->send_capacity() > 0) {
         const std::size_t n = std::min<std::size_t>(
-            static_cast<std::size_t>(pair.client->send_capacity()), payload.size() - sent);
+            static_cast<std::size_t>(pair.client->send_capacity()),
+            payload.size() - sent);
         pair.client->send(util::BytesView(payload.data() + sent, n));
         sent += n;
       }
@@ -101,7 +106,9 @@ TEST(TcpDelayedAck, OutOfOrderDataStillAckedImmediately) {
   TcpPair pair(cfg);
   ASSERT_TRUE(pair.establish(seconds(60)));
   util::Bytes got;
-  pair.server->on_data = [&](util::BytesView d) { got.insert(got.end(), d.begin(), d.end()); };
+  pair.server->on_data = [&](util::BytesView d) {
+    got.insert(got.end(), d.begin(), d.end());
+  };
   std::size_t sent = 0;
   const util::Bytes payload = util::patterned_bytes(120'000, 3);
   const auto feed = [&] {

@@ -56,7 +56,8 @@ TEST_P(TcpReliability, DeliversExactBytesBothWays) {
   const auto feed_down = [&] {
     while (down_sent < down.size() && pair.server->send_capacity() > 0) {
       const std::size_t n = std::min<std::size_t>(
-          static_cast<std::size_t>(pair.server->send_capacity()), down.size() - down_sent);
+          static_cast<std::size_t>(pair.server->send_capacity()),
+          down.size() - down_sent);
       pair.server->send(util::BytesView(down.data() + down_sent, n));
       down_sent += n;
     }

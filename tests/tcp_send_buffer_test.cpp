@@ -140,7 +140,8 @@ TEST(SendBuffer, OffsetsSurviveManyAckCycles) {
   SendBuffer buf;
   std::uint64_t offset = 0;
   for (int round = 0; round < 50; ++round) {
-    const util::Bytes chunk = util::patterned_bytes(1'000, static_cast<std::uint32_t>(round));
+    const util::Bytes chunk =
+        util::patterned_bytes(1'000, static_cast<std::uint32_t>(round));
     EXPECT_EQ(buf.append(chunk), offset);
     const util::Bytes back = buf.read(offset, 1'000);
     EXPECT_EQ(back, chunk);

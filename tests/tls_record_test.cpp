@@ -25,7 +25,8 @@ TEST(TlsRecord, CiphertextIsScrambled) {
   const util::Bytes plaintext = util::patterned_bytes(100, 1);
   const util::Bytes wire = seal.seal(ContentType::kApplicationData, plaintext);
   // The body (after the 5-byte header) must not equal the plaintext.
-  EXPECT_FALSE(std::equal(plaintext.begin(), plaintext.end(), wire.begin() + kHeaderBytes));
+  EXPECT_FALSE(std::equal(plaintext.begin(), plaintext.end(), wire.begin() +
+               kHeaderBytes));
 }
 
 TEST(TlsRecord, LargePlaintextChunksIntoMultipleRecords) {
@@ -54,8 +55,9 @@ TEST(TlsRecord, SealedSizePredictsExactly) {
   for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{16'384},
                               std::size_t{16'385}, std::size_t{50'000}}) {
     SealContext fresh(kSecret, 0);
-    EXPECT_EQ(fresh.seal(ContentType::kApplicationData, util::patterned_bytes(n, 3)).size(),
-              SealContext::sealed_size(n))
+    EXPECT_EQ(
+        fresh.seal(ContentType::kApplicationData, util::patterned_bytes(n, 3)).size(),
+        SealContext::sealed_size(n))
         << "n=" << n;
   }
   (void)seal;
@@ -64,7 +66,8 @@ TEST(TlsRecord, SealedSizePredictsExactly) {
 TEST(TlsRecord, TamperedCiphertextFailsAuthentication) {
   SealContext seal(kSecret, 0);
   OpenContext open(kSecret, 0);
-  util::Bytes wire = seal.seal(ContentType::kApplicationData, util::patterned_bytes(64, 4));
+  util::Bytes wire = seal.seal(ContentType::kApplicationData,
+                               util::patterned_bytes(64, 4));
   wire[kHeaderBytes + 10] ^= 0x01;
   std::size_t consumed = 0;
   EXPECT_THROW((void)open.open_one(wire, consumed), TlsError);
@@ -73,8 +76,10 @@ TEST(TlsRecord, TamperedCiphertextFailsAuthentication) {
 TEST(TlsRecord, OutOfOrderOpenFailsAuthentication) {
   SealContext seal(kSecret, 0);
   OpenContext open(kSecret, 0);
-  const util::Bytes first = seal.seal(ContentType::kApplicationData, util::patterned_bytes(8, 1));
-  const util::Bytes second = seal.seal(ContentType::kApplicationData, util::patterned_bytes(8, 2));
+  const util::Bytes first = seal.seal(ContentType::kApplicationData,
+                                      util::patterned_bytes(8, 1));
+  const util::Bytes second = seal.seal(ContentType::kApplicationData,
+                                       util::patterned_bytes(8, 2));
   std::size_t consumed = 0;
   EXPECT_THROW((void)open.open_one(second, consumed), TlsError)
       << "record sequence numbers key the cipher";
@@ -83,7 +88,8 @@ TEST(TlsRecord, OutOfOrderOpenFailsAuthentication) {
 TEST(TlsRecord, WrongSecretFails) {
   SealContext seal(kSecret, 0);
   OpenContext open(kSecret + 1, 0);
-  const util::Bytes wire = seal.seal(ContentType::kApplicationData, util::patterned_bytes(8, 1));
+  const util::Bytes wire = seal.seal(ContentType::kApplicationData,
+                                     util::patterned_bytes(8, 1));
   std::size_t consumed = 0;
   EXPECT_THROW((void)open.open_one(wire, consumed), TlsError);
 }
@@ -91,14 +97,16 @@ TEST(TlsRecord, WrongSecretFails) {
 TEST(TlsRecord, WrongDirectionDomainFails) {
   SealContext seal(kSecret, 0);
   OpenContext open(kSecret, 1);
-  const util::Bytes wire = seal.seal(ContentType::kApplicationData, util::patterned_bytes(8, 1));
+  const util::Bytes wire = seal.seal(ContentType::kApplicationData,
+                                     util::patterned_bytes(8, 1));
   std::size_t consumed = 0;
   EXPECT_THROW((void)open.open_one(wire, consumed), TlsError);
 }
 
 TEST(TlsRecord, ParseHeaderExposesTypeAndLength) {
   SealContext seal(kSecret, 0);
-  const util::Bytes wire = seal.seal(ContentType::kHandshake, util::patterned_bytes(100, 5));
+  const util::Bytes wire = seal.seal(ContentType::kHandshake,
+                                     util::patterned_bytes(100, 5));
   RecordHeader hdr{};
   ASSERT_TRUE(parse_header(wire, hdr));
   EXPECT_EQ(hdr.type, ContentType::kHandshake);
@@ -120,7 +128,8 @@ TEST(TlsRecord, ParseHeaderRejectsBadType) {
 TEST(TlsRecord, OpenTruncatedThrows) {
   SealContext seal(kSecret, 0);
   OpenContext open(kSecret, 0);
-  util::Bytes wire = seal.seal(ContentType::kApplicationData, util::patterned_bytes(64, 4));
+  util::Bytes wire = seal.seal(ContentType::kApplicationData,
+                               util::patterned_bytes(64, 4));
   wire.resize(wire.size() - 1);
   std::size_t consumed = 0;
   EXPECT_THROW((void)open.open_one(wire, consumed), TlsError);
