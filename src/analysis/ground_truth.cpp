@@ -40,12 +40,12 @@ const ResponseInstance& GroundTruth::instance(InstanceId id) const {
 }
 
 void GroundTruth::record_data(InstanceId id, h2::WireSpan span) {
-  if (span.size() == 0) return;
+  if (span.empty()) return;
   instances_.at(id - 1).data.push_back(ByteInterval{span.begin, span.end});
 }
 
 void GroundTruth::record_headers(InstanceId id, h2::WireSpan span) {
-  if (span.size() == 0) return;
+  if (span.empty()) return;
   instances_.at(id - 1).headers.push_back(ByteInterval{span.begin, span.end});
 }
 

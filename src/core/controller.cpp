@@ -6,7 +6,7 @@ namespace h2priv::core {
 
 namespace {
 bool has_payload(const net::Packet& p) {
-  return tcp::peek(p.segment).payload.size() > 0;
+  return !tcp::peek(p.segment).payload.empty();
 }
 }  // namespace
 

@@ -28,6 +28,7 @@ struct WireSpan {
   std::uint64_t begin = 0;
   std::uint64_t end = 0;
   [[nodiscard]] std::uint64_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool empty() const noexcept { return end == begin; }
 };
 
 struct ConnectionConfig {

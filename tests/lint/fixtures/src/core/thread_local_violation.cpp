@@ -1,0 +1,9 @@
+// Fixture: thread-local rule. Per-thread state outside util/obs is not
+// covered by the commutative worker-merge, so --jobs N changes results.
+namespace h2priv::core {
+
+thread_local int runs_on_this_worker = 0;  // seeded violation
+
+int bump() { return ++runs_on_this_worker; }
+
+}  // namespace h2priv::core

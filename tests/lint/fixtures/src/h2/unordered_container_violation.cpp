@@ -1,0 +1,12 @@
+// Fixture: unordered-container rule. Iterating an unordered_map decides
+// frame emission order by hash-bucket layout, which varies by libstdc++.
+#include <cstdint>
+#include <unordered_map>
+
+namespace h2priv::h2 {
+
+struct StreamTable {
+  std::unordered_map<std::uint32_t, int> streams;  // seeded violation
+};
+
+}  // namespace h2priv::h2

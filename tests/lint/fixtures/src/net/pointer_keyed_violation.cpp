@@ -1,0 +1,13 @@
+// Fixture: pointer-keyed-container rule. std::map sorted by pointer value
+// iterates in allocation-address order — different under ASLR every run.
+#include <map>
+
+namespace h2priv::net {
+
+struct Port;
+
+struct Switch {
+  std::map<Port*, int> queue_depth;  // seeded violation: pointer key
+};
+
+}  // namespace h2priv::net

@@ -1,0 +1,16 @@
+// Fixture: a clean sim-critical file. Mentions of hazards in comments and
+// string literals must NOT be reported:
+//   std::unordered_map iteration, rand(), thread_local, system_clock.
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace h2priv::sim {
+
+/* Block comments too: std::random_device would be a violation in code. */
+struct EventLog {
+  std::map<std::uint64_t, int> by_seq;  // ordered: deterministic iteration
+  std::string note = "uses std::unordered_map internally";  // literal, not code
+};
+
+}  // namespace h2priv::sim

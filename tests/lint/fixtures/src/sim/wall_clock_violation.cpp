@@ -1,0 +1,12 @@
+// Fixture: wall-clock rule. Reading a real clock inside the simulator
+// makes event timestamps depend on the host, not the seed.
+#include <chrono>
+
+namespace h2priv::sim {
+
+long long host_nanos() {
+  const auto t = std::chrono::steady_clock::now();  // seeded violation: wall-clock
+  return t.time_since_epoch().count();
+}
+
+}  // namespace h2priv::sim

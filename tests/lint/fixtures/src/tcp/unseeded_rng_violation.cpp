@@ -1,0 +1,12 @@
+// Fixture: unseeded-rng rule. A default-constructed engine (or rand())
+// draws from a fixed-but-ambient stream instead of the run seed.
+#include <random>
+
+namespace h2priv::tcp {
+
+int jitter_sample() {
+  std::mt19937 gen;  // seeded violation: default-constructed engine
+  return static_cast<int>(gen() % 16);
+}
+
+}  // namespace h2priv::tcp

@@ -1,0 +1,10 @@
+// Fixture: src/util is exempt from the thread-local rule (the sanctioned
+// per-worker BufferPool pattern), so this file must produce no findings.
+namespace h2priv::util {
+
+int& scratch_counter() {
+  thread_local int counter = 0;  // exempt dir: no finding expected
+  return counter;
+}
+
+}  // namespace h2priv::util

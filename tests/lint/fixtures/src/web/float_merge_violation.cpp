@@ -1,0 +1,18 @@
+// Fixture: float-merge-accum rule. FP addition is not associative, so a
+// merge that accumulates doubles gives different totals per worker count.
+#include <cstdint>
+
+namespace h2priv::web {
+
+struct SegmentStats {
+  std::uint64_t bytes = 0;
+  double mean_gap = 0.0;
+
+  void merge_from(const SegmentStats& o) {
+    bytes += o.bytes;
+    const double gap = mean_gap + o.mean_gap;  // seeded violation: FP in merge
+    mean_gap = gap;
+  }
+};
+
+}  // namespace h2priv::web

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Tests for tools/lint_determinism.py.
+
+Runs the linter as a subprocess (the same way CI and developers do) over
+the fixture tree in tests/lint/fixtures, which seeds exactly one
+violation per rule plus clean/suppressed/exempt files, and asserts the
+exact rule IDs and line numbers reported.
+"""
+
+import re
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINTER = REPO / "tools" / "lint_determinism.py"
+FIXTURES = REPO / "tests" / "lint" / "fixtures"
+
+FINDING_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z-]+)\]")
+
+EXPECTED = {
+    ("src/core/thread_local_violation.cpp", 5, "thread-local"),
+    ("src/h2/unordered_container_violation.cpp", 9, "unordered-container"),
+    ("src/net/pointer_keyed_violation.cpp", 10, "pointer-keyed-container"),
+    ("src/sim/wall_clock_violation.cpp", 8, "wall-clock"),
+    ("src/tcp/unseeded_rng_violation.cpp", 8, "unseeded-rng"),
+    ("src/web/float_merge_violation.cpp", 13, "float-merge-accum"),
+}
+
+
+def run_linter(*args):
+    return subprocess.run(
+        [sys.executable, str(LINTER), *args],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+def findings(stdout):
+    out = set()
+    for line in stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            out.add((m.group("path"), int(m.group("line")), m.group("rule")))
+    return out
+
+
+class FixtureTree(unittest.TestCase):
+    def test_each_rule_fires_exactly_once_at_the_seeded_line(self):
+        result = run_linter("--root", str(FIXTURES))
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertEqual(findings(result.stdout), EXPECTED)
+
+    def test_clean_file_produces_no_findings(self):
+        result = run_linter("--root", str(FIXTURES), "src/sim/clean.cpp")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertEqual(findings(result.stdout), set())
+
+    def test_lint_allow_suppresses_the_annotated_line(self):
+        result = run_linter("--root", str(FIXTURES), "src/hpack/suppressed_allow.cpp")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_exempt_dir_is_not_linted_for_thread_local(self):
+        result = run_linter("--root", str(FIXTURES), "src/util/thread_local_exempt.cpp")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_single_file_scope_still_applies_rules(self):
+        result = run_linter(
+            "--root", str(FIXTURES), "src/sim/wall_clock_violation.cpp"
+        )
+        self.assertEqual(result.returncode, 1)
+        self.assertEqual(
+            findings(result.stdout),
+            {("src/sim/wall_clock_violation.cpp", 8, "wall-clock")},
+        )
+
+
+class RealTree(unittest.TestCase):
+    def test_repo_src_is_clean(self):
+        result = run_linter("--root", str(REPO))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_list_rules_names_every_rule(self):
+        result = run_linter("--list-rules")
+        self.assertEqual(result.returncode, 0)
+        listed = {line.split(":")[0] for line in result.stdout.splitlines() if line}
+        self.assertEqual(listed, {rule for (_, _, rule) in EXPECTED})
+
+
+class Injection(unittest.TestCase):
+    """The gate must gate: a violation injected into a copy of a clean
+    file must flip the exit code to non-zero (the same self-check CI runs
+    on a scratch copy of the real tree)."""
+
+    def test_injected_violation_fails(self):
+        import shutil
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            dst = root / "src" / "sim"
+            dst.mkdir(parents=True)
+            shutil.copy(FIXTURES / "src" / "sim" / "clean.cpp", dst / "clean.cpp")
+            self.assertEqual(run_linter("--root", str(root)).returncode, 0)
+            with open(dst / "clean.cpp", "a") as f:
+                f.write("static int now_ms = time(nullptr);\n")
+            result = run_linter("--root", str(root))
+            self.assertEqual(result.returncode, 1)
+            self.assertIn("[wall-clock]", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

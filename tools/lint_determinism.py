@@ -1,0 +1,275 @@
+#!/usr/bin/env python3
+"""Determinism linter for the h2priv tree.
+
+The whole reproduction rests on bit-determinism: golden-trace digests
+(PR 2) and --jobs-invariant METRICS_JSON counters (PR 3) assert that the
+same seed produces the same bytes on every run, on every machine, at any
+worker count. This linter statically rejects the code patterns that break
+that promise before they reach a hot path. Rules (see DESIGN.md section 7):
+
+  wall-clock           std::chrono::{system,steady,high_resolution}_clock,
+                       time()/clock()/gettimeofday in simulation code. Sim
+                       time comes from sim::Simulator::now() only.
+  unseeded-rng         rand()/srand(), std::random_device, or a std::
+                       engine constructed without an explicit seed. All
+                       randomness must flow from the run seed via sim::Rng.
+  unordered-container  std::unordered_{map,set,multimap,multiset} in
+                       sim-critical dirs: iteration order is
+                       implementation-defined and changes with libstdc++
+                       versions, so any loop over one leaks
+                       nondeterminism into schedules and digests.
+  pointer-keyed-container
+                       std::{map,set} keyed on a pointer type: ASLR makes
+                       the iteration order differ per process.
+  thread-local         thread_local outside src/util and src/obs. The two
+                       sanctioned uses (BufferPool, metrics registry) are
+                       merge-safe by construction; new ones rarely are.
+  float-merge-accum    float/double inside a *merge* function body.
+                       Worker-merge must stay in the integer domain:
+                       FP addition is not associative, so merge order
+                       (= worker count) would change totals.
+
+Suppress a deliberate use with `// lint:allow(<rule-id>)` on the same
+line, e.g.:
+
+    std::unordered_map<int, X> cache_;  // lint:allow(unordered-container)
+
+Usage:
+  tools/lint_determinism.py [--root DIR] [--list-rules] [paths...]
+
+With no paths, lints every .cpp/.hpp under <root>/src. Paths are
+interpreted relative to --root (default: the repo root), and each rule
+applies only inside its scope directories, so fixture trees can be
+linted with --root tests/lint/fixtures.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories (relative to the repo root) whose event ordering feeds the
+# wire trace. analysis/ and obs/ consume traces after the fact; util/ is
+# seed-free plumbing; client/server are thin layers over h2 — but h2
+# itself plus everything below it is digest-critical.
+SIM_CRITICAL = (
+    "src/sim",
+    "src/tcp",
+    "src/tls",
+    "src/h2",
+    "src/hpack",
+    "src/net",
+    "src/core",
+    "src/web",
+)
+ALL_SRC = ("src",)
+THREAD_LOCAL_EXEMPT = ("src/util", "src/obs")
+
+ALLOW_RE = re.compile(r"//.*lint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+RULES = {
+    "wall-clock": {
+        "scope": ALL_SRC,
+        "pattern": re.compile(
+            r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
+            r"|\b(time|clock|gettimeofday|clock_gettime|localtime|gmtime)\s*\("
+        ),
+        "message": "wall-clock read in simulation code (use sim::Simulator::now())",
+    },
+    "unseeded-rng": {
+        "scope": ALL_SRC,
+        "pattern": re.compile(
+            r"\b(rand|srand|random)\s*\("
+            r"|std::random_device"
+            r"|std::(mt19937(_64)?|minstd_rand0?|default_random_engine"
+            r"|ranlux(24|48)(_base)?|knuth_b)\s+\w+\s*[;)]"
+        ),
+        "message": "ambient randomness (derive a sim::Rng from the run seed instead)",
+    },
+    "unordered-container": {
+        "scope": SIM_CRITICAL,
+        "pattern": re.compile(r"std::unordered_(map|set|multimap|multiset)\b"),
+        "message": "unordered container in sim-critical code "
+        "(iteration order is implementation-defined)",
+    },
+    "pointer-keyed-container": {
+        "scope": SIM_CRITICAL,
+        "pattern": re.compile(r"std::(map|set|multimap|multiset)<[^<>,]*\*\s*[,>]"),
+        "message": "pointer-keyed ordered container (ASLR makes iteration "
+        "order differ per process)",
+    },
+    "thread-local": {
+        "scope": ALL_SRC,
+        "exempt": THREAD_LOCAL_EXEMPT,
+        "pattern": re.compile(r"\bthread_local\b"),
+        "message": "thread_local outside util/obs (per-thread state breaks "
+        "--jobs invariance unless merged commutatively)",
+    },
+    "float-merge-accum": {
+        "scope": ALL_SRC,
+        "pattern": re.compile(r"\b(float|double)\b"),
+        "merge_only": True,
+        "message": "floating point inside a merge function (FP addition is "
+        "not associative; merge order = worker count would change totals)",
+    },
+}
+
+MERGE_FN_RE = re.compile(r"\b\w*merge\w*\s*\(")
+
+
+def strip_code(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Remove comments and string/char literal *contents* from one line.
+
+    Keeps the code skeleton so column-free pattern matching works, and
+    returns the updated block-comment state.
+    """
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end == -1:
+                return "".join(out), True
+            in_block_comment = False
+            i = end + 2
+            continue
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    out.append(quote)
+                    i += 1
+                    break
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def in_scope(rel: str, rule: dict) -> bool:
+    if not any(rel == d or rel.startswith(d + "/") for d in rule["scope"]):
+        return False
+    for d in rule.get("exempt", ()):
+        if rel == d or rel.startswith(d + "/"):
+            return False
+    return True
+
+
+def lint_file(root: Path, rel: str) -> list[tuple[str, int, str]]:
+    """Return (rule_id, line_number, message) findings for one file."""
+    active = {rid: r for rid, r in RULES.items() if in_scope(rel, r)}
+    if not active:
+        return []
+    try:
+        text = (root / rel).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as e:
+        print(f"lint_determinism: cannot read {rel}: {e}", file=sys.stderr)
+        return []
+
+    findings = []
+    in_block = False
+    merge_depth = None  # brace depth at which the current merge fn body ends
+    depth = 0
+    for lineno, raw in enumerate(text.split("\n"), 1):
+        allowed = set()
+        m = ALLOW_RE.search(raw)
+        if m:
+            allowed = {a.strip() for a in m.group(1).split(",")}
+        code, in_block = strip_code(raw, in_block)
+
+        if merge_depth is None and MERGE_FN_RE.search(code):
+            merge_depth = depth
+        in_merge = merge_depth is not None and (depth > merge_depth or "{" in code)
+        depth += code.count("{") - code.count("}")
+        if merge_depth is not None and depth <= merge_depth and "}" in code:
+            merge_depth = None
+
+        for rid, rule in active.items():
+            if rule.get("merge_only") and not in_merge:
+                continue
+            if rule["pattern"].search(code) and rid not in allowed:
+                findings.append((rid, lineno, rule["message"]))
+    return findings
+
+
+def collect_paths(root: Path, args_paths: list[str]) -> list[str]:
+    if args_paths:
+        out = []
+        for p in args_paths:
+            path = Path(p)
+            rel = path if not path.is_absolute() else path.relative_to(root)
+            if (root / rel).is_dir():
+                out.extend(
+                    str(f.relative_to(root))
+                    for ext in ("*.cpp", "*.hpp")
+                    for f in sorted((root / rel).rglob(ext))
+                )
+            else:
+                out.append(str(rel))
+        return out
+    src = root / "src"
+    return [
+        str(f.relative_to(root))
+        for ext in ("*.cpp", "*.hpp")
+        for f in sorted(src.rglob(ext))
+    ]
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--root",
+        default=str(Path(__file__).resolve().parent.parent),
+        help="tree root; rule scopes are resolved against it",
+    )
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("paths", nargs="*")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rid, rule in RULES.items():
+            print(f"{rid}: {rule['message']}")
+        return 0
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"lint_determinism: no such root: {root}", file=sys.stderr)
+        return 2
+
+    total = 0
+    files = collect_paths(root, args.paths)
+    for rel in files:
+        for rid, lineno, message in lint_file(root, rel):
+            print(f"{rel}:{lineno}: [{rid}] {message}")
+            total += 1
+    if total:
+        print(
+            f"lint_determinism: {total} finding(s) in {len(files)} file(s); "
+            "suppress deliberate uses with // lint:allow(<rule>)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint_determinism: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the whole tree using the repo's .clang-tidy config.
+#
+# Usage:
+#   tools/run_tidy.sh [--strict] [--build-dir DIR] [--jobs N] [paths...]
+#
+#   --strict     fail (exit 2) if clang-tidy is not installed; the default
+#                is to skip with exit 0 so developer machines without the
+#                LLVM toolchain are not blocked (CI always passes --strict).
+#   --build-dir  compilation database location (default: build). Configured
+#                automatically if compile_commands.json is missing — the
+#                top-level CMakeLists.txt exports it by default.
+#   paths        restrict the run to specific files (default: all .cpp under
+#                src/ bench/ examples/ tests/).
+#
+# Exit codes: 0 clean (or tool missing without --strict), 1 findings,
+# 2 setup error.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+strict=0
+build_dir=build
+jobs="$(nproc 2>/dev/null || echo 4)"
+paths=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --strict) strict=1; shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --jobs) jobs="$2"; shift 2 ;;
+    -*) echo "run_tidy.sh: unknown flag $1" >&2; exit 2 ;;
+    *) paths+=("$1"); shift ;;
+  esac
+done
+
+# Accept a bare `clang-tidy` or any versioned `clang-tidy-N` (newest wins).
+tidy="$(command -v clang-tidy || true)"
+if [[ -z "$tidy" ]]; then
+  for v in 20 19 18 17 16 15 14; do
+    if command -v "clang-tidy-$v" >/dev/null 2>&1; then
+      tidy="clang-tidy-$v"
+      break
+    fi
+  done
+fi
+if [[ -z "$tidy" ]]; then
+  if [[ "$strict" == 1 ]]; then
+    echo "run_tidy.sh: clang-tidy not found (--strict)" >&2
+    exit 2
+  fi
+  echo "run_tidy.sh: clang-tidy not found; skipping (pass --strict to fail instead)"
+  exit 0
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_tidy.sh: configuring $build_dir for compile_commands.json"
+  cmake -B "$build_dir" -S . >/dev/null
+fi
+
+# Fixture files under tests/lint/ are deliberately unhealthy and are not
+# part of the build, so they never enter the compilation database.
+if [[ ${#paths[@]} -eq 0 ]]; then
+  mapfile -t paths < <(find src bench examples tests -path tests/lint -prune -o \
+                         -name '*.cpp' -print | sort)
+fi
+
+echo "run_tidy.sh: $tidy over ${#paths[@]} files ($jobs-way)"
+status=0
+printf '%s\n' "${paths[@]}" |
+  xargs -P "$jobs" -n 4 "$tidy" -p "$build_dir" --quiet || status=1
+
+if [[ "$status" != 0 ]]; then
+  echo "run_tidy.sh: findings above — fix them or suppress with NOLINT(<check>)" >&2
+  exit 1
+fi
+echo "run_tidy.sh: clean"
