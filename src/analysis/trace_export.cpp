@@ -1,16 +1,38 @@
 #include "h2priv/analysis/trace_export.hpp"
 
+#include <limits>
 #include <ostream>
 
 namespace h2priv::analysis {
 
 namespace {
+
 const char* dir_name(net::Direction d) {
   return d == net::Direction::kClientToServer ? "c2s" : "s2c";
 }
+
+/// RAII bump of a stream's float precision to max_digits10, so exported
+/// timestamps and DoM values survive a parse round trip exactly. Default
+/// ostream precision (6 significant digits) truncates nanosecond-resolution
+/// times beyond ~1000 s and perturbs any DoM with a long mantissa.
+class FullPrecision {
+ public:
+  explicit FullPrecision(std::ostream& os)
+      : os_(os),
+        saved_(os.precision(std::numeric_limits<double>::max_digits10)) {}
+  ~FullPrecision() { os_.precision(saved_); }
+  FullPrecision(const FullPrecision&) = delete;
+  FullPrecision& operator=(const FullPrecision&) = delete;
+
+ private:
+  std::ostream& os_;
+  std::streamsize saved_;
+};
+
 }  // namespace
 
 void write_packets_csv(std::ostream& os, std::span<const PacketObservation> packets) {
+  const FullPrecision precision(os);
   os << "time_s,dir,wire_size,seq,ack,flags,payload_len\n";
   for (const PacketObservation& p : packets) {
     os << p.time.seconds() << ',' << dir_name(p.dir) << ',' << p.wire_size << ',' << p.seq
@@ -20,6 +42,7 @@ void write_packets_csv(std::ostream& os, std::span<const PacketObservation> pack
 }
 
 void write_records_csv(std::ostream& os, std::span<const RecordObservation> records) {
+  const FullPrecision precision(os);
   os << "time_s,dir,content_type,ciphertext_len,plaintext_estimate,stream_offset\n";
   for (const RecordObservation& r : records) {
     os << r.time.seconds() << ',' << dir_name(r.dir) << ','
@@ -29,6 +52,7 @@ void write_records_csv(std::ostream& os, std::span<const RecordObservation> reco
 }
 
 void write_ground_truth_csv(std::ostream& os, const GroundTruth& truth) {
+  const FullPrecision precision(os);
   os << "instance,object,stream,duplicate,complete,dom,begin,end\n";
   for (const ResponseInstance& inst : truth.instances()) {
     const double dom = truth.degree_of_multiplexing(inst.id);

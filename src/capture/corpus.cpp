@@ -1,0 +1,88 @@
+#include "h2priv/capture/corpus.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "h2priv/capture/trace_format.hpp"
+#include "h2priv/capture/trace_reader.hpp"
+
+namespace h2priv::capture {
+
+std::string trace_filename(std::uint64_t seed) {
+  return "run_" + std::to_string(seed) + ".h2t";
+}
+
+std::uint64_t digest_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw TraceError("cannot open for digest: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  util::Bytes data(static_cast<std::size_t>(size));
+  if (size > 0) in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) throw TraceError("read failed during digest: " + path);
+  return fnv1a(data);
+}
+
+void write_manifest(const Manifest& m, const std::string& path) {
+  std::vector<ManifestEntry> entries = m.entries;
+  std::sort(entries.begin(), entries.end(),
+            [](const ManifestEntry& a, const ManifestEntry& b) {
+              return a.seed < b.seed;
+            });
+  std::ostringstream os;
+  os << "h2t-manifest v1\n";
+  os << "scenario " << m.scenario << "\n";
+  os << "base_seed " << m.base_seed << "\n";
+  os << "runs " << entries.size() << "\n";
+  for (const ManifestEntry& e : entries) {
+    os << "run " << e.file << ' ' << e.seed << ' ' << e.packets << ' ' << std::hex
+       << std::setw(16) << std::setfill('0') << e.digest << std::dec
+       << std::setfill(' ') << "\n";
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw TraceError("cannot open manifest for writing: " + path);
+  out << os.str();
+  out.flush();
+  if (!out) throw TraceError("manifest write failed: " + path);
+}
+
+Manifest read_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TraceError("cannot open manifest: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != "h2t-manifest v1") {
+    throw TraceError("not an h2t manifest: " + path);
+  }
+  Manifest m;
+  std::uint64_t declared_runs = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "scenario") {
+      ls >> m.scenario;
+    } else if (key == "base_seed") {
+      ls >> m.base_seed;
+    } else if (key == "runs") {
+      ls >> declared_runs;
+    } else if (key == "run") {
+      ManifestEntry e;
+      ls >> e.file >> e.seed >> e.packets >> std::hex >> e.digest >> std::dec;
+      if (ls.fail()) throw TraceError("malformed manifest entry: " + line);
+      m.entries.push_back(e);
+    } else {
+      throw TraceError("unknown manifest key: " + key);
+    }
+  }
+  if (m.entries.size() != declared_runs) {
+    throw TraceError("manifest run count mismatch (declared " +
+                     std::to_string(declared_runs) + ", found " +
+                     std::to_string(m.entries.size()) + ")");
+  }
+  return m;
+}
+
+}  // namespace h2priv::capture

@@ -1,0 +1,35 @@
+// Synthesizes a structurally valid libpcap capture from stored packet
+// observations, so any .h2t trace opens in Wireshark/tshark — the paper's
+// own tooling. The simulator's wire format is not IP, so Ethernet + IPv4 +
+// TCP headers are reconstructed: addresses/ports are fixed per direction
+// (10.0.0.1:49152 <-> 10.0.0.2:443), seq/ack/flags come from the
+// observation, payload bytes are zeros of the observed length (the
+// ciphertext itself is never stored), and both IP and TCP checksums are
+// computed so dissectors raise no errors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "h2priv/analysis/observation.hpp"
+#include "h2priv/util/bytes.hpp"
+
+namespace h2priv::capture {
+
+/// Nanosecond-resolution libpcap magic (0xA1B23C4D), written little-endian.
+inline constexpr std::uint32_t kPcapMagicNanos = 0xA1B23C4D;
+inline constexpr std::size_t kPcapGlobalHeaderBytes = 24;
+inline constexpr std::size_t kPcapRecordHeaderBytes = 16;
+/// Ethernet(14) + IPv4(20) + TCP(20) synthesized in front of each payload.
+inline constexpr std::size_t kSynthHeaderBytes = 54;
+
+/// Renders the packets as a complete libpcap file image (linktype 1,
+/// Ethernet). Negative timestamps are clamped to zero.
+[[nodiscard]] util::Bytes pcap_bytes(
+    const std::vector<analysis::PacketObservation>& packets);
+
+/// Writes pcap_bytes() to `path`; throws TraceError on I/O failure.
+void export_pcap(const std::vector<analysis::PacketObservation>& packets,
+                 const std::string& path);
+
+}  // namespace h2priv::capture

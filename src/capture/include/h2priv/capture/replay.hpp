@@ -1,0 +1,43 @@
+// Replay: feed a stored .h2t trace back through the live adversary pipeline
+// (analysis::MonitorStream reassembly + record extraction inside
+// core::TrafficMonitor, then core::ObjectPredictor) and recompute the full
+// attack verdict offline.
+//
+// The trace stores no payload bytes — only TCP header fields and TLS record
+// boundaries — so the byte stream each direction carried is *synthesized*:
+// real 5-byte TLS headers are planted at the recorded stream offsets (bodies
+// are zeros; the scanner never reads bodies) and, if the stream ends inside
+// an unfinished record, a phantom header with an unreachable length keeps
+// the scanner waiting exactly like the live partial record did. Feeding the
+// recorded packets over that stream drives the reassembler through the same
+// states as the live run — retransmissions, reordering and all — so the
+// recomputed records, GET count, verdicts and DoM values are bit-identical.
+#pragma once
+
+#include "h2priv/capture/trace_format.hpp"
+#include "h2priv/capture/trace_reader.hpp"
+#include "h2priv/core/monitor.hpp"
+
+namespace h2priv::capture {
+
+struct ReplayResult {
+  /// The verdict recomputed offline (same shape as the stored summary).
+  TraceSummary summary;
+  /// Recomputed record observations matched the stored sections exactly.
+  bool records_match = true;
+  /// Stored summary present and equal to the recomputed one.
+  bool summary_matches = false;
+};
+
+/// Feeds every stored packet through `monitor` via synthesized payloads.
+/// The monitor must be freshly constructed (standalone ctor). Throws
+/// TraceError if the trace's streams cannot be synthesized faithfully.
+void replay_into(const TraceReader& trace, core::TrafficMonitor& monitor);
+
+/// Full offline pipeline: replay_into a fresh monitor, then score with
+/// core::ObjectPredictor against the stored ground truth and metadata,
+/// mirroring core::run_once's scoring step. Requires ground truth (and uses
+/// the stored summary, when present, for the fidelity cross-check).
+[[nodiscard]] ReplayResult replay(const TraceReader& trace);
+
+}  // namespace h2priv::capture

@@ -1,0 +1,122 @@
+// The .h2t trace container: what a capture-then-analyze workflow stores.
+//
+// One file = one seeded page load as the gateway adversary saw it (packet
+// and TLS-record observations) plus the simulator-side ground truth and the
+// live run's scored verdict. The format is designed for corpus-scale offline
+// analysis: compact (varint delta encoding), versioned, and seekable — every
+// section is located through a trailer table, so a reader jumps straight to
+// the section it needs without parsing the rest.
+//
+// File layout (all fixed-width integers big-endian, matching the tree's
+// ByteWriter/ByteReader conventions; see DESIGN.md §8 for the field tables):
+//
+//   [header: 24 bytes]  magic(8) version(u16) reserved(u16+u32) seed(u64)
+//   [section payloads]  packets first (streamed), then the buffered sections
+//   [trailer]           per-section {id(u32) offset(u64) length(u64)
+//                       count(u64)}, then section_count(u32)
+//                       trailer_offset(u64) end-magic(8)
+//
+// Sections carry no inline framing: offsets/lengths live only in the trailer
+// table, which is what lets the packets section stream to disk while the run
+// is still executing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "h2priv/util/units.hpp"
+#include "h2priv/web/isidewith.hpp"
+
+namespace h2priv::capture {
+
+/// File magic: PNG-style leading non-ASCII byte + CR/LF + EOF + LF catches
+/// text-mode mangling, not just wrong-file mistakes.
+inline constexpr std::array<std::uint8_t, 8> kMagic = {0x89, 'H',  '2',  'T',
+                                                       '\r', '\n', 0x1a, '\n'};
+inline constexpr std::array<std::uint8_t, 8> kEndMagic = {'H', '2', 'T', 'E',
+                                                          'N', 'D', 0x1a, '\n'};
+inline constexpr std::uint16_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 24;
+/// Trailer tail after the section table: count(u32) + table offset(u64) +
+/// end magic(8).
+inline constexpr std::size_t kTrailerTailBytes = 20;
+inline constexpr std::size_t kSectionEntryBytes = 28;
+
+/// Section ids (u32 in the trailer table). Unknown ids are skipped by
+/// readers, so additive format evolution does not need a version bump.
+enum class Section : std::uint32_t {
+  kMeta = 1,
+  kPackets = 2,
+  kRecordsC2S = 3,
+  kRecordsS2C = 4,
+  kGroundTruth = 5,
+  kSummary = 6,
+};
+
+/// Canonical per-observation footprint used for the compression-ratio
+/// counters (capture.raw_bytes vs capture.bytes_written). Fixed widths, not
+/// sizeof(): struct padding is platform-dependent and the counters must be
+/// bit-identical everywhere.
+inline constexpr std::uint64_t kRawPacketBytes = 42;  // t8 dir1 wire8 seq8 ack8 fl1 len8
+inline constexpr std::uint64_t kRawRecordBytes = 26;  // t8 dir1 type1 len8 off8
+
+class TraceError : public std::runtime_error {
+ public:
+  explicit TraceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Run provenance stored in the kMeta section: everything offline analysis
+/// needs to rebuild the adversary's context (catalog, horizon, labels)
+/// without re-running the simulation.
+struct TraceMeta {
+  std::uint64_t seed = 0;
+  std::string scenario;            ///< free-form label, e.g. "fig2" / "table2"
+  std::string site = "isidewith";  ///< victim model the catalog derives from
+  bool attack_enabled = false;
+  bool pad_sensitive_objects = false;
+  bool push_emblems = false;
+  /// Manual middlebox programs (nanoseconds / bits-per-second; nullopt = off).
+  std::optional<std::int64_t> manual_spacing_ns;
+  std::optional<std::int64_t> manual_bandwidth_bps;
+  std::int64_t deadline_ns = 0;
+  /// Phase-3 horizon the live predictor used (drops_ended, or 0).
+  std::int64_t attack_horizon_ns = 0;
+  /// The survey result: party index by display position (ground truth).
+  std::array<int, web::kPartyCount> party_order{};
+};
+
+/// One object's scored outcome as stored in the kSummary section — the live
+/// run's verdict, kept beside the observations so an offline replay can be
+/// checked against it without re-simulating.
+struct ObjectVerdict {
+  std::string label;
+  std::uint64_t true_size = 0;
+  /// Degree of multiplexing of the primary instance; exact IEEE bits of the
+  /// live value (-1.0 = never served) so comparison is byte-strict.
+  double primary_dom = -1.0;
+  bool has_dom = false;
+  bool serialized_primary = false;
+  bool any_serialized_copy = false;
+  bool identified = false;
+  bool attack_success = false;
+
+  friend bool operator==(const ObjectVerdict&, const ObjectVerdict&) = default;
+};
+
+/// The live run's full attack verdict (kSummary section).
+struct TraceSummary {
+  std::uint64_t monitor_packets = 0;
+  std::int64_t monitor_gets = 0;
+  ObjectVerdict html;
+  std::array<ObjectVerdict, web::kPartyCount> emblems_by_position{};
+  std::vector<std::string> predicted_sequence;
+  std::int64_t sequence_positions_correct = 0;
+
+  friend bool operator==(const TraceSummary&, const TraceSummary&) = default;
+};
+
+}  // namespace h2priv::capture

@@ -1,0 +1,80 @@
+// Indexed .h2t reader.
+//
+// Validates both magics and the version, loads the trailer's section table
+// (the O(1) locator — no section is found by scanning another), then decodes
+// each present section back into the same in-memory types the live run
+// produced: PacketObservation / RecordObservation vectors, a rebuilt
+// GroundTruth, and the stored TraceSummary. Round-tripping through
+// TraceWriter and back is exact — field-for-field, bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "h2priv/analysis/ground_truth.hpp"
+#include "h2priv/analysis/observation.hpp"
+#include "h2priv/capture/trace_format.hpp"
+#include "h2priv/util/bytes.hpp"
+
+namespace h2priv::capture {
+
+class TraceReader {
+ public:
+  struct SectionInfo {
+    Section id = Section::kMeta;
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+    std::uint64_t count = 0;
+  };
+
+  /// Reads and parses a .h2t file; bumps the capture.* read counters.
+  /// Throws TraceError on malformed input or I/O failure.
+  [[nodiscard]] static TraceReader open(const std::string& path);
+
+  /// Parses an in-memory image (testing / digest paths). Throws TraceError.
+  explicit TraceReader(util::Bytes file_bytes);
+
+  [[nodiscard]] const TraceMeta& meta() const noexcept { return meta_; }
+  [[nodiscard]] const std::vector<analysis::PacketObservation>& packets()
+      const noexcept {
+    return packets_;
+  }
+  [[nodiscard]] const std::vector<analysis::RecordObservation>& records(
+      net::Direction dir) const noexcept {
+    return dir == net::Direction::kClientToServer ? records_c2s_ : records_s2c_;
+  }
+  [[nodiscard]] bool has_ground_truth() const noexcept { return truth_.has_value(); }
+  [[nodiscard]] const analysis::GroundTruth& ground_truth() const;
+  [[nodiscard]] bool has_summary() const noexcept { return summary_.has_value(); }
+  [[nodiscard]] const TraceSummary& summary() const;
+
+  /// The trailer's section table, in file order (for `h2priv_trace inspect`).
+  [[nodiscard]] const std::vector<SectionInfo>& sections() const noexcept {
+    return sections_;
+  }
+  [[nodiscard]] std::uint64_t file_size() const noexcept { return file_size_; }
+  /// FNV-1a 64 over the entire file image — the corpus-manifest digest.
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+
+ private:
+  void parse(const util::Bytes& data);
+  [[nodiscard]] util::BytesView section_view(const util::Bytes& data,
+                                             const SectionInfo& s) const;
+
+  TraceMeta meta_;
+  std::vector<analysis::PacketObservation> packets_;
+  std::vector<analysis::RecordObservation> records_c2s_;
+  std::vector<analysis::RecordObservation> records_s2c_;
+  std::optional<analysis::GroundTruth> truth_;
+  std::optional<TraceSummary> summary_;
+  std::vector<SectionInfo> sections_;
+  std::uint64_t file_size_ = 0;
+  std::uint64_t digest_ = 0;
+};
+
+/// FNV-1a 64 over a byte span (same parameters as tests/support/trace_hash).
+[[nodiscard]] std::uint64_t fnv1a(util::BytesView data) noexcept;
+
+}  // namespace h2priv::capture

@@ -1,0 +1,101 @@
+// Streaming .h2t writer.
+//
+// Packets stream to disk through one pooled scratch buffer (flushed at a
+// fixed threshold, so memory stays bounded no matter how long the run is);
+// the smaller sections — TLS records per direction, ground truth, summary —
+// are delta-encoded into side buffers as they arrive and land after the
+// packets section at finish(), followed by the trailer table.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "h2priv/analysis/ground_truth.hpp"
+#include "h2priv/analysis/observation.hpp"
+#include "h2priv/capture/trace_format.hpp"
+#include "h2priv/util/buffer_pool.hpp"
+#include "h2priv/util/bytes.hpp"
+
+namespace h2priv::capture {
+
+class TraceWriter {
+ public:
+  /// Flush the packet scratch once it reaches this size. Chosen to fit the
+  /// largest BufferPool class so the scratch chunk is pool-recycled, never
+  /// an oversize heap block.
+  static constexpr std::size_t kFlushThreshold = 16 * 1024;
+
+  /// Opens `path` and writes the fixed header. Throws TraceError on I/O
+  /// failure.
+  TraceWriter(const std::string& path, TraceMeta meta);
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+  /// Finishes the file if finish() was not called (errors swallowed — call
+  /// finish() explicitly when you care).
+  ~TraceWriter();
+
+  /// Observations must arrive in capture order (the monitor's order).
+  void add_packet(const analysis::PacketObservation& p);
+  void add_record(const analysis::RecordObservation& r);
+
+  void set_ground_truth(const analysis::GroundTruth& truth);
+  void set_summary(const TraceSummary& summary);
+
+  /// Writes the buffered sections and the trailer, closes the file, and
+  /// bumps the capture.* obs counters. Returns total file bytes. Idempotent.
+  std::uint64_t finish();
+
+  /// Mutable until finish(): fields learned late in a run (the attack
+  /// horizon, say) can be patched in before the meta section is encoded.
+  [[nodiscard]] TraceMeta& meta() noexcept { return meta_; }
+
+  [[nodiscard]] std::uint64_t packets_written() const noexcept { return n_packets_; }
+
+ private:
+  struct DirDeltas {
+    std::int64_t prev_time_ns = 0;
+    std::uint64_t prev_seq = 0;
+    std::uint64_t prev_ack = 0;
+    std::int64_t prev_wire = 0;
+    std::uint64_t prev_len = 0;
+    std::uint64_t prev_off = 0;
+  };
+
+  void flush_packets();
+  /// Appends one trailer-table row and writes the section payload.
+  void write_section(Section id, util::BytesView payload, std::uint64_t count);
+
+  TraceMeta meta_;
+  std::ofstream out_;
+  std::uint64_t offset_ = 0;  ///< bytes written to the file so far
+  bool finished_ = false;
+
+  util::ByteWriter pkt_buf_;        // pooled scratch, flushed while streaming
+  util::ByteWriter rec_buf_c2s_;    // buffered until finish()
+  util::ByteWriter rec_buf_s2c_;
+  util::ByteWriter truth_buf_;
+  util::ByteWriter summary_buf_;
+
+  std::uint64_t n_packets_ = 0;
+  std::uint64_t n_records_c2s_ = 0;
+  std::uint64_t n_records_s2c_ = 0;
+  std::uint64_t n_instances_ = 0;
+  bool have_truth_ = false;
+  bool have_summary_ = false;
+
+  std::array<DirDeltas, 2> pkt_state_{};  // indexed by net::Direction
+  std::array<DirDeltas, 2> rec_state_{};
+  std::int64_t prev_pkt_time_ns_ = 0;  // packet time deltas are global
+
+  struct SectionEntry {
+    Section id;
+    std::uint64_t offset;
+    std::uint64_t length;
+    std::uint64_t count;
+  };
+  std::vector<SectionEntry> sections_;
+};
+
+}  // namespace h2priv::capture

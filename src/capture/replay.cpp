@@ -1,0 +1,186 @@
+#include "h2priv/capture/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "h2priv/core/experiment.hpp"
+#include "h2priv/core/predictor.hpp"
+#include "h2priv/obs/metrics.hpp"
+#include "h2priv/tls/record.hpp"
+
+namespace h2priv::capture {
+
+namespace {
+
+/// Builds the synthetic byte stream one direction carried: zeros, with a
+/// real TLS header at every recorded record offset and (when the stream
+/// ends mid-record) a phantom header whose declared body can never complete
+/// within the remaining bytes.
+[[nodiscard]] util::Bytes synthesize_stream(
+    const std::vector<analysis::PacketObservation>& packets,
+    const std::vector<analysis::RecordObservation>& records, net::Direction dir) {
+  // Data byte at TCP seq s sits at stream offset s-1 (SYN occupies seq 0).
+  std::uint64_t total = 0;
+  for (const analysis::PacketObservation& p : packets) {
+    if (p.dir != dir || p.payload_len == 0) continue;
+    if (p.seq == 0) throw TraceError("data packet with seq 0 (pre-SYN payload?)");
+    total = std::max(total, p.seq - 1 + p.payload_len);
+  }
+  util::Bytes stream(static_cast<std::size_t>(total), 0);
+
+  std::uint64_t last_end = 0;  // end of the last complete record
+  for (const analysis::RecordObservation& rec : records) {
+    const std::uint64_t off = rec.stream_offset;
+    if (off + tls::kHeaderBytes > total) {
+      throw TraceError("record header extends past the synthesized stream");
+    }
+    stream[static_cast<std::size_t>(off)] = static_cast<std::uint8_t>(rec.type);
+    stream[static_cast<std::size_t>(off) + 1] =
+        static_cast<std::uint8_t>(tls::kVersionTls12 >> 8);
+    stream[static_cast<std::size_t>(off) + 2] =
+        static_cast<std::uint8_t>(tls::kVersionTls12 & 0xff);
+    stream[static_cast<std::size_t>(off) + 3] =
+        static_cast<std::uint8_t>(rec.ciphertext_len >> 8);
+    stream[static_cast<std::size_t>(off) + 4] =
+        static_cast<std::uint8_t>(rec.ciphertext_len & 0xff);
+    last_end = std::max(last_end, off + tls::kHeaderBytes + rec.ciphertext_len);
+  }
+
+  // Trailing bytes belong to a record the live run never saw complete. Fewer
+  // than 5 of them can't even form a header (the scanner just waits); for 5+
+  // plant a phantom application-data header declaring the maximum body — the
+  // scanner parses it and waits forever, exactly like the live partial
+  // record, as long as the remainder can't satisfy the declared length.
+  const std::uint64_t trailing = total - last_end;
+  if (trailing >= tls::kHeaderBytes) {
+    const std::uint64_t phantom_body = trailing - tls::kHeaderBytes;
+    if (phantom_body >= 0xffff) {
+      throw TraceError("unfinished trailing record too large to synthesize");
+    }
+    stream[static_cast<std::size_t>(last_end)] =
+        static_cast<std::uint8_t>(tls::ContentType::kApplicationData);
+    stream[static_cast<std::size_t>(last_end) + 1] =
+        static_cast<std::uint8_t>(tls::kVersionTls12 >> 8);
+    stream[static_cast<std::size_t>(last_end) + 2] =
+        static_cast<std::uint8_t>(tls::kVersionTls12 & 0xff);
+    stream[static_cast<std::size_t>(last_end) + 3] = 0xff;
+    stream[static_cast<std::size_t>(last_end) + 4] = 0xff;
+  }
+  return stream;
+}
+
+[[nodiscard]] bool same_records(const std::vector<analysis::RecordObservation>& a,
+                                const std::vector<analysis::RecordObservation>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].time != b[i].time || a[i].dir != b[i].dir || a[i].type != b[i].type ||
+        a[i].ciphertext_len != b[i].ciphertext_len ||
+        a[i].stream_offset != b[i].stream_offset) {
+      return false;
+    }
+  }
+  return true;
+}
+
+[[nodiscard]] ObjectVerdict score_object(const analysis::GroundTruth& truth,
+                                         const core::ObjectPredictor& predictor,
+                                         web::ObjectId id, const std::string& label,
+                                         std::size_t true_size,
+                                         util::TimePoint horizon) {
+  // Mirrors core::run_once's score_object lambda, including the DoM
+  // histogram sample, so replayed analysis metrics line up with live ones.
+  ObjectVerdict v;
+  v.label = label;
+  v.true_size = true_size;
+  const std::optional<double> dom = truth.object_dom(id);
+  v.has_dom = dom.has_value();
+  if (dom.has_value()) {
+    v.primary_dom = *dom;
+    obs::sample(obs::Hist::kH2ObjectDomMilli,
+                static_cast<std::uint64_t>(std::llround(*dom * 1000.0)));
+  }
+  v.serialized_primary = dom.has_value() && *dom == 0.0;
+  v.any_serialized_copy = truth.any_serialized_instance(id);
+  v.identified = predictor.find(label, horizon).has_value();
+  v.attack_success = v.any_serialized_copy && v.identified;
+  return v;
+}
+
+}  // namespace
+
+void replay_into(const TraceReader& trace, core::TrafficMonitor& monitor) {
+  const std::vector<analysis::PacketObservation>& packets = trace.packets();
+  const std::array<util::Bytes, 2> streams = {
+      synthesize_stream(packets, trace.records(net::Direction::kClientToServer),
+                        net::Direction::kClientToServer),
+      synthesize_stream(packets, trace.records(net::Direction::kServerToClient),
+                        net::Direction::kServerToClient)};
+  for (const analysis::PacketObservation& p : packets) {
+    util::BytesView payload;
+    if (p.payload_len > 0) {
+      const util::Bytes& stream = streams[static_cast<std::size_t>(p.dir)];
+      payload = util::BytesView{stream.data() + (p.seq - 1), p.payload_len};
+    }
+    monitor.observe(p, payload);
+  }
+}
+
+ReplayResult replay(const TraceReader& trace) {
+  const TraceMeta& meta = trace.meta();
+  core::TrafficMonitor monitor;
+  replay_into(trace, monitor);
+
+  ReplayResult result;
+  result.records_match =
+      same_records(monitor.records(net::Direction::kClientToServer),
+                   trace.records(net::Direction::kClientToServer)) &&
+      same_records(monitor.records(net::Direction::kServerToClient),
+                   trace.records(net::Direction::kServerToClient));
+
+  const analysis::GroundTruth& truth = trace.ground_truth();
+  const web::IsideWithSite site =
+      web::build_isidewith_site(meta.pad_sensitive_objects);
+  const core::ObjectPredictor predictor(monitor, core::isidewith_catalog());
+  const util::TimePoint horizon{meta.attack_horizon_ns};
+
+  TraceSummary& sum = result.summary;
+  sum.monitor_packets = monitor.packets_seen();
+  sum.monitor_gets = monitor.get_count();
+  sum.html = score_object(truth, predictor, site.results_html, core::html_label(),
+                          site.site.object(site.results_html).size, horizon);
+
+  for (int pos = 0; pos < web::kPartyCount; ++pos) {
+    const int party = meta.party_order[static_cast<std::size_t>(pos)];
+    const web::ObjectId id = site.emblems[static_cast<std::size_t>(party)];
+    sum.emblems_by_position[static_cast<std::size_t>(pos)] = score_object(
+        truth, predictor, id, core::party_label(party), site.site.object(id).size,
+        horizon);
+  }
+
+  // Sequence recovery + the per-position success overwrite, exactly as
+  // core::run_once does it after predict_sequence.
+  std::vector<std::string> party_labels;
+  party_labels.reserve(web::kPartyCount);
+  for (int p = 0; p < web::kPartyCount; ++p) {
+    party_labels.push_back(core::party_label(p));
+  }
+  for (const core::Identification& id :
+       predictor.predict_sequence(party_labels, horizon)) {
+    sum.predicted_sequence.push_back(id.label);
+  }
+  for (int pos = 0; pos < web::kPartyCount; ++pos) {
+    const int party = meta.party_order[static_cast<std::size_t>(pos)];
+    const bool position_ok =
+        pos < static_cast<int>(sum.predicted_sequence.size()) &&
+        sum.predicted_sequence[static_cast<std::size_t>(pos)] ==
+            core::party_label(party);
+    ObjectVerdict& v = sum.emblems_by_position[static_cast<std::size_t>(pos)];
+    v.attack_success = v.any_serialized_copy && position_ok;
+    sum.sequence_positions_correct += position_ok ? 1 : 0;
+  }
+
+  result.summary_matches = trace.has_summary() && trace.summary() == result.summary;
+  return result;
+}
+
+}  // namespace h2priv::capture

@@ -1,0 +1,223 @@
+#include "h2priv/capture/trace_writer.hpp"
+
+#include <bit>
+
+#include "h2priv/capture/varint.hpp"
+#include "h2priv/obs/metrics.hpp"
+
+namespace h2priv::capture {
+
+namespace {
+
+void put_string(util::ByteWriter& w, const std::string& s) {
+  put_varint(w, s.size());
+  w.bytes(std::string_view{s});
+}
+
+/// Wrapping unsigned difference reinterpreted as signed — the delta primitive
+/// for monotone-ish u64 fields (seq/ack/offsets). C++20 guarantees the
+/// two's-complement round trip.
+[[nodiscard]] std::int64_t wrap_delta(std::uint64_t cur, std::uint64_t prev) noexcept {
+  return static_cast<std::int64_t>(cur - prev);
+}
+
+void put_verdict(util::ByteWriter& w, const ObjectVerdict& v) {
+  put_string(w, v.label);
+  put_varint(w, v.true_size);
+  w.u64(std::bit_cast<std::uint64_t>(v.primary_dom));
+  std::uint8_t flags = 0;
+  if (v.has_dom) flags |= 0x01;
+  if (v.serialized_primary) flags |= 0x02;
+  if (v.any_serialized_copy) flags |= 0x04;
+  if (v.identified) flags |= 0x08;
+  if (v.attack_success) flags |= 0x10;
+  w.u8(flags);
+}
+
+void put_intervals(util::ByteWriter& w,
+                   const std::vector<analysis::ByteInterval>& spans) {
+  put_varint(w, spans.size());
+  std::uint64_t prev_end = 0;
+  for (const analysis::ByteInterval& iv : spans) {
+    put_svarint(w, wrap_delta(iv.begin, prev_end));
+    put_varint(w, iv.end - iv.begin);
+    prev_end = iv.end;
+  }
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path, TraceMeta meta)
+    : meta_(std::move(meta)),
+      out_(path, std::ios::binary | std::ios::trunc),
+      pkt_buf_(util::default_pool(), util::BufferPool::kClassSizes.back()) {
+  if (!out_) throw TraceError("cannot open trace for writing: " + path);
+  util::ByteWriter header(kHeaderBytes);
+  header.bytes(util::BytesView{kMagic.data(), kMagic.size()});
+  header.u16(kFormatVersion);
+  header.u16(0);  // reserved
+  header.u32(0);  // reserved
+  header.u64(meta_.seed);
+  out_.write(reinterpret_cast<const char*>(header.view().data()),
+             static_cast<std::streamsize>(header.size()));
+  offset_ = kHeaderBytes;
+}
+
+TraceWriter::~TraceWriter() {
+  if (finished_) return;
+  try {
+    finish();
+  } catch (...) {  // NOLINT(bugprone-empty-catch): best-effort close in a dtor
+  }
+}
+
+void TraceWriter::add_packet(const analysis::PacketObservation& p) {
+  if ((p.flags & 0x80) != 0) {
+    // Bit 7 of the packed tag byte carries the direction; no defined TCP
+    // sim flag uses it (kFlagSyn..kFlagRst are the low four bits).
+    throw TraceError("packet flags bit 7 is reserved");
+  }
+  DirDeltas& st = pkt_state_[static_cast<std::size_t>(p.dir)];
+  const auto dir_bit = static_cast<std::uint8_t>(static_cast<std::uint8_t>(p.dir) << 7);
+  pkt_buf_.u8(static_cast<std::uint8_t>(p.flags | dir_bit));
+  put_svarint(pkt_buf_, p.time.ns - prev_pkt_time_ns_);
+  put_svarint(pkt_buf_, p.wire_size - st.prev_wire);
+  put_svarint(pkt_buf_, wrap_delta(p.seq, st.prev_seq));
+  put_svarint(pkt_buf_, wrap_delta(p.ack, st.prev_ack));
+  put_svarint(pkt_buf_, wrap_delta(p.payload_len, st.prev_len));
+  prev_pkt_time_ns_ = p.time.ns;
+  st.prev_wire = p.wire_size;
+  st.prev_seq = p.seq;
+  st.prev_ack = p.ack;
+  st.prev_len = p.payload_len;
+  ++n_packets_;
+  if (pkt_buf_.size() >= kFlushThreshold) flush_packets();
+}
+
+void TraceWriter::add_record(const analysis::RecordObservation& r) {
+  const bool c2s = r.dir == net::Direction::kClientToServer;
+  util::ByteWriter& buf = c2s ? rec_buf_c2s_ : rec_buf_s2c_;
+  DirDeltas& st = rec_state_[static_cast<std::size_t>(r.dir)];
+  buf.u8(static_cast<std::uint8_t>(r.type));
+  put_svarint(buf, r.time.ns - st.prev_time_ns);
+  put_svarint(buf, wrap_delta(r.ciphertext_len, st.prev_len));
+  put_svarint(buf, wrap_delta(r.stream_offset, st.prev_off));
+  st.prev_time_ns = r.time.ns;
+  st.prev_len = r.ciphertext_len;
+  st.prev_off = r.stream_offset;
+  ++(c2s ? n_records_c2s_ : n_records_s2c_);
+}
+
+void TraceWriter::set_ground_truth(const analysis::GroundTruth& truth) {
+  truth_buf_.clear();
+  const std::vector<analysis::ResponseInstance>& instances = truth.instances();
+  put_varint(truth_buf_, instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const analysis::ResponseInstance& inst = instances[i];
+    if (inst.id != i + 1) {
+      throw TraceError("ground truth instance ids are not sequential");
+    }
+    put_varint(truth_buf_, inst.object_id);
+    put_varint(truth_buf_, inst.stream_id);
+    std::uint8_t flags = 0;
+    if (inst.duplicate) flags |= 0x01;
+    if (inst.complete) flags |= 0x02;
+    truth_buf_.u8(flags);
+    put_intervals(truth_buf_, inst.data);
+    put_intervals(truth_buf_, inst.headers);
+  }
+  n_instances_ = instances.size();
+  have_truth_ = true;
+}
+
+void TraceWriter::set_summary(const TraceSummary& summary) {
+  summary_buf_.clear();
+  put_varint(summary_buf_, summary.monitor_packets);
+  put_svarint(summary_buf_, summary.monitor_gets);
+  put_verdict(summary_buf_, summary.html);
+  for (const ObjectVerdict& v : summary.emblems_by_position) put_verdict(summary_buf_, v);
+  put_varint(summary_buf_, summary.predicted_sequence.size());
+  for (const std::string& s : summary.predicted_sequence) put_string(summary_buf_, s);
+  put_svarint(summary_buf_, summary.sequence_positions_correct);
+  have_summary_ = true;
+}
+
+void TraceWriter::flush_packets() {
+  const util::BytesView v = pkt_buf_.view();
+  if (v.empty()) return;
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size()));
+  offset_ += v.size();
+  pkt_buf_.clear();
+}
+
+void TraceWriter::write_section(Section id, util::BytesView payload,
+                                std::uint64_t count) {
+  sections_.push_back({id, offset_, payload.size(), count});
+  if (!payload.empty()) {
+    out_.write(reinterpret_cast<const char*>(payload.data()),
+               static_cast<std::streamsize>(payload.size()));
+    offset_ += payload.size();
+  }
+}
+
+std::uint64_t TraceWriter::finish() {
+  if (finished_) return offset_;
+  flush_packets();
+  sections_.push_back(
+      {Section::kPackets, kHeaderBytes, offset_ - kHeaderBytes, n_packets_});
+
+  util::ByteWriter meta_buf;
+  put_varint(meta_buf, meta_.seed);
+  put_string(meta_buf, meta_.scenario);
+  put_string(meta_buf, meta_.site);
+  std::uint8_t flags = 0;
+  if (meta_.attack_enabled) flags |= 0x01;
+  if (meta_.pad_sensitive_objects) flags |= 0x02;
+  if (meta_.push_emblems) flags |= 0x04;
+  if (meta_.manual_spacing_ns.has_value()) flags |= 0x08;
+  if (meta_.manual_bandwidth_bps.has_value()) flags |= 0x10;
+  meta_buf.u8(flags);
+  if (meta_.manual_spacing_ns) put_svarint(meta_buf, *meta_.manual_spacing_ns);
+  if (meta_.manual_bandwidth_bps) put_svarint(meta_buf, *meta_.manual_bandwidth_bps);
+  put_svarint(meta_buf, meta_.deadline_ns);
+  put_svarint(meta_buf, meta_.attack_horizon_ns);
+  for (const int party : meta_.party_order) put_svarint(meta_buf, party);
+  write_section(Section::kMeta, meta_buf.view(), 1);
+
+  write_section(Section::kRecordsC2S, rec_buf_c2s_.view(), n_records_c2s_);
+  write_section(Section::kRecordsS2C, rec_buf_s2c_.view(), n_records_s2c_);
+  if (have_truth_) write_section(Section::kGroundTruth, truth_buf_.view(), n_instances_);
+  if (have_summary_) write_section(Section::kSummary, summary_buf_.view(), 1);
+
+  const std::uint64_t trailer_offset = offset_;
+  util::ByteWriter trailer(sections_.size() * kSectionEntryBytes + kTrailerTailBytes);
+  for (const SectionEntry& e : sections_) {
+    trailer.u32(static_cast<std::uint32_t>(e.id));
+    trailer.u64(e.offset);
+    trailer.u64(e.length);
+    trailer.u64(e.count);
+  }
+  trailer.u32(static_cast<std::uint32_t>(sections_.size()));
+  trailer.u64(trailer_offset);
+  trailer.bytes(util::BytesView{kEndMagic.data(), kEndMagic.size()});
+  out_.write(reinterpret_cast<const char*>(trailer.view().data()),
+             static_cast<std::streamsize>(trailer.size()));
+  offset_ += trailer.size();
+
+  out_.flush();
+  if (!out_) throw TraceError("trace write failed (disk full or closed stream?)");
+  out_.close();
+  finished_ = true;
+
+  const std::uint64_t n_records = n_records_c2s_ + n_records_s2c_;
+  obs::count(obs::Counter::kCaptureTracesWritten);
+  obs::count(obs::Counter::kCaptureBytesWritten, offset_);
+  obs::count(obs::Counter::kCapturePacketsWritten, n_packets_);
+  obs::count(obs::Counter::kCaptureRecordsWritten, n_records);
+  obs::count(obs::Counter::kCaptureRawBytes,
+             n_packets_ * kRawPacketBytes + n_records * kRawRecordBytes);
+  return offset_;
+}
+
+}  // namespace h2priv::capture

@@ -6,7 +6,13 @@
 
 #include <cmath>
 
+#include <filesystem>
+
+#include <memory>
+
 #include "h2priv/analysis/trace_export.hpp"
+#include "h2priv/capture/corpus.hpp"
+#include "h2priv/capture/trace_writer.hpp"
 #include "h2priv/core/parallel_runner.hpp"
 #include "h2priv/obs/export.hpp"
 #include "h2priv/obs/metrics.hpp"
@@ -134,6 +140,32 @@ RunResult run_once(const RunConfig& config) {
 
   // --- adversary --------------------------------------------------------------
   TrafficMonitor monitor(middlebox);
+  std::unique_ptr<capture::TraceWriter> trace_writer;
+  if (config.capture.enabled()) {
+    std::string trace_path = config.capture.path;
+    if (trace_path.empty()) {
+      // Corpus mode: concurrent workers may race here; create_directories
+      // is idempotent, so whoever wins, everyone proceeds.
+      std::filesystem::create_directories(config.capture.corpus_dir);
+      trace_path = config.capture.corpus_dir + "/" + capture::trace_filename(config.seed);
+    }
+    capture::TraceMeta meta;
+    meta.seed = config.seed;
+    meta.scenario = config.capture.scenario;
+    meta.attack_enabled = config.attack_enabled;
+    meta.pad_sensitive_objects = config.pad_sensitive_objects;
+    meta.push_emblems = config.push_emblems;
+    if (config.manual_spacing) meta.manual_spacing_ns = config.manual_spacing->ns;
+    if (config.manual_bandwidth) {
+      meta.manual_bandwidth_bps = config.manual_bandwidth->bits_per_sec;
+    }
+    meta.deadline_ns = config.deadline.ns;
+    meta.party_order = plan.party_order;
+    trace_writer = std::make_unique<capture::TraceWriter>(trace_path, std::move(meta));
+    monitor.on_packet_observed = [&](const analysis::PacketObservation& obs) {
+      trace_writer->add_packet(obs);
+    };
+  }
   NetworkController controller(sim, middlebox, adversary_rng.fork());
   Attack attack(sim, monitor, controller, config.attack);
   if (config.attack_enabled) attack.arm();
@@ -215,6 +247,41 @@ RunResult run_once(const RunConfig& config) {
     outcome.attack_success = outcome.any_serialized_copy && position_ok;
     result.sequence_positions_correct += position_ok ? 1 : 0;
   }
+  if (trace_writer) {
+    for (const auto dir :
+         {net::Direction::kClientToServer, net::Direction::kServerToClient}) {
+      for (const analysis::RecordObservation& rec : monitor.records(dir)) {
+        trace_writer->add_record(rec);
+      }
+    }
+    trace_writer->meta().attack_horizon_ns = horizon.ns;
+    trace_writer->set_ground_truth(*truth);
+
+    const auto to_verdict = [](const ObjectOutcome& o) {
+      capture::ObjectVerdict v;
+      v.label = o.label;
+      v.true_size = o.true_size;
+      v.has_dom = o.primary_dom.has_value();
+      if (o.primary_dom) v.primary_dom = *o.primary_dom;
+      v.serialized_primary = o.serialized_primary;
+      v.any_serialized_copy = o.any_serialized_copy;
+      v.identified = o.identified;
+      v.attack_success = o.attack_success;
+      return v;
+    };
+    capture::TraceSummary summary;
+    summary.monitor_packets = result.monitor_packets;
+    summary.monitor_gets = result.monitor_gets;
+    summary.html = to_verdict(result.html);
+    for (std::size_t pos = 0; pos < static_cast<std::size_t>(web::kPartyCount); ++pos) {
+      summary.emblems_by_position[pos] = to_verdict(result.emblems_by_position[pos]);
+    }
+    summary.predicted_sequence = result.predicted_sequence;
+    summary.sequence_positions_correct = result.sequence_positions_correct;
+    trace_writer->set_summary(summary);
+    trace_writer->finish();
+  }
+
   reg.add(obs::Counter::kCoreRuns);
   if (result.page_complete) reg.add(obs::Counter::kCorePagesComplete);
   if (result.broken) reg.add(obs::Counter::kCoreBrokenRuns);

@@ -45,6 +45,23 @@ struct PathConfig {
   double egress_burst_loss = 0.5;
 };
 
+/// Durable trace capture (src/capture): when enabled, run_once records the
+/// adversary's observations plus ground truth and the scored verdict into a
+/// binary .h2t trace as the run executes.
+struct CaptureOptions {
+  /// Explicit output path for a single run ("x.h2t").
+  std::string path;
+  /// Corpus mode: write <corpus_dir>/run_<seed>.h2t instead. run_many also
+  /// drops a manifest.txt with per-trace digests beside the traces.
+  std::string corpus_dir;
+  /// Scenario label stored in the trace metadata (e.g. "fig2", "table2").
+  std::string scenario;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return !path.empty() || !corpus_dir.empty();
+  }
+};
+
 struct RunConfig {
   std::uint64_t seed = 1;
   PathConfig path{};
@@ -81,6 +98,9 @@ struct RunConfig {
   /// Capacity of the obs::TraceRing armed on the thread-current registry for
   /// this run (0 = tracing stays off). The ring keeps the newest records.
   std::size_t obs_trace_capacity = 0;
+
+  /// Durable .h2t trace capture of this run (off unless a path is set).
+  CaptureOptions capture;
 
   /// Observer for every packet entering the middlebox (both directions, in
   /// arrival order, before any drop decision). Used by the golden-trace

@@ -39,12 +39,26 @@ class TrafficMonitor {
  public:
   TrafficMonitor(net::Middlebox& middlebox, MonitorConfig config = {});
 
+  /// Standalone monitor with no live tap: observations are pushed through
+  /// observe() — the offline-replay path (capture::replay_into feeds a
+  /// stored .h2t trace through exactly the live analysis code).
+  explicit TrafficMonitor(MonitorConfig config = {});
+
+  /// Feeds one packet observation plus the visible TCP payload bytes (what
+  /// tcp::peek exposes). The live middlebox tap and the offline replayer
+  /// both funnel through here, so their analysis state is identical.
+  void observe(const analysis::PacketObservation& obs, util::BytesView payload);
+
   /// Fires on each detected GET with its 1-based index.
   std::function<void(int index, util::TimePoint when)> on_get_request;
 
   /// Fires when a client stream-reset flurry is detected (Section IV-D: the
   /// cue that the drop phase has done its job).
   std::function<void(util::TimePoint when)> on_reset_detected;
+
+  /// Fires on every packet observation, before stream analysis — the
+  /// capture tap (core::run_once streams these into a TraceWriter).
+  std::function<void(const analysis::PacketObservation& obs)> on_packet_observed;
 
   [[nodiscard]] int get_count() const noexcept { return get_count_; }
   [[nodiscard]] const std::vector<analysis::RecordObservation>& records(

@@ -3,11 +3,14 @@
 namespace h2priv::core {
 
 TrafficMonitor::TrafficMonitor(net::Middlebox& middlebox, MonitorConfig config)
-    : config_(config) {
+    : TrafficMonitor(config) {
   middlebox.add_tap(
       [this](net::Direction dir, const net::Packet& p, util::TimePoint now) {
         on_packet(dir, p, now);
       });
+}
+
+TrafficMonitor::TrafficMonitor(MonitorConfig config) : config_(config) {
   streams_[static_cast<std::size_t>(net::Direction::kClientToServer)].on_record =
       [this](const analysis::RecordObservation& rec) { on_record(rec); };
 }
@@ -23,10 +26,16 @@ void TrafficMonitor::on_packet(net::Direction dir, const net::Packet& packet,
   obs.ack = seg.ack;
   obs.flags = seg.flags;
   obs.payload_len = seg.payload.size();
+  observe(obs, seg.payload);
+}
+
+void TrafficMonitor::observe(const analysis::PacketObservation& obs,
+                             util::BytesView payload) {
   packets_.push_back(obs);
+  if (on_packet_observed) on_packet_observed(obs);
   tiny_records_this_packet_ = 0;
   reset_reported_this_packet_ = false;
-  streams_[static_cast<std::size_t>(dir)].on_packet(obs, seg.payload, now);
+  streams_[static_cast<std::size_t>(obs.dir)].on_packet(obs, payload, obs.time);
 }
 
 void TrafficMonitor::on_record(const analysis::RecordObservation& rec) {

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "h2priv/capture/corpus.hpp"
 #include "h2priv/obs/metrics.hpp"
 
 namespace h2priv::core {
@@ -85,6 +86,25 @@ std::vector<RunResult> run_many(const RunConfig& config, int n,
     cfg.seed = base + static_cast<std::uint64_t>(i);
     out[static_cast<std::size_t>(i)] = run_once(cfg);
   });
+
+  // Corpus mode: one .h2t per seed is already on disk; summarize them in a
+  // manifest whose content is a pure function of the traces (entries sorted
+  // by seed, digests over file bytes) — byte-identical for any --jobs count.
+  if (!config.capture.corpus_dir.empty()) {
+    capture::Manifest manifest;
+    manifest.scenario = config.capture.scenario;
+    manifest.base_seed = base;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      capture::ManifestEntry entry;
+      entry.seed = base + i;
+      entry.file = capture::trace_filename(entry.seed);
+      entry.packets = out[i].monitor_packets;
+      entry.digest =
+          capture::digest_file(config.capture.corpus_dir + "/" + entry.file);
+      manifest.entries.push_back(std::move(entry));
+    }
+    capture::write_manifest(manifest, config.capture.corpus_dir + "/manifest.txt");
+  }
   return out;
 }
 

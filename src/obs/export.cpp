@@ -47,6 +47,13 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
     "h2.frames_received",
     "h2.rst_streams_received",
     "h2.data_bytes_sent",
+    "capture.traces_written",
+    "capture.bytes_written",
+    "capture.packets_written",
+    "capture.records_written",
+    "capture.raw_bytes",
+    "capture.traces_read",
+    "capture.bytes_read",
     "core.runs",
     "core.pages_complete",
     "core.broken_runs",

@@ -81,6 +81,14 @@ enum class Counter : std::uint16_t {
   kH2FramesReceived,
   kH2RstStreamsReceived,
   kH2DataBytesSent,
+  // capture: .h2t trace store (compression ratio = raw_bytes / bytes_written)
+  kCaptureTracesWritten,
+  kCaptureBytesWritten,
+  kCapturePacketsWritten,
+  kCaptureRecordsWritten,
+  kCaptureRawBytes,
+  kCaptureTracesRead,
+  kCaptureBytesRead,
   // core: per-run outcomes
   kCoreRuns,
   kCorePagesComplete,

@@ -1,6 +1,7 @@
 #include "h2priv/analysis/trace_export.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -55,6 +56,60 @@ TEST(TraceExport, GroundTruthCsvOneRowPerInterval) {
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);  // header + 2 intervals
   EXPECT_NE(out.find("1,6,11,0,1,0,0,100\n"), std::string::npos);
   EXPECT_NE(out.find("1,6,11,0,1,0,200,300\n"), std::string::npos);
+}
+
+// Timestamps must survive a text round trip exactly. The default ostream
+// precision (6 significant digits) silently truncates nanosecond-resolution
+// times past ~1000 s — e.g. 1234.567890123 s would print as "1234.57".
+TEST(TraceExport, TimestampsRoundTripAtFullPrecision) {
+  std::vector<PacketObservation> packets(1);
+  packets[0].time = util::TimePoint{1'234'567'890'123};  // 1234.567890123 s
+
+  std::ostringstream os;
+  write_packets_csv(os, packets);
+  const std::string out = os.str();
+  const std::size_t row = out.find('\n') + 1;
+  const double parsed = std::stod(out.substr(row, out.find(',', row) - row));
+  EXPECT_EQ(parsed, packets[0].time.seconds());
+  EXPECT_NE(out.find("1234.567890123"), std::string::npos) << out;
+}
+
+// Same for DoM values with long mantissas in the ground-truth export.
+TEST(TraceExport, DomRoundTripsAtFullPrecision) {
+  GroundTruth truth;
+  const InstanceId a = truth.register_instance(1, 3, false);
+  const InstanceId b = truth.register_instance(2, 5, false);
+  // Interleave the two instances so DoM is a non-terminating fraction.
+  truth.record_data(a, h2::WireSpan{0, 100});
+  truth.record_data(b, h2::WireSpan{100, 200});
+  truth.record_data(a, h2::WireSpan{200, 250});
+  truth.record_data(b, h2::WireSpan{250, 300});
+  truth.record_data(a, h2::WireSpan{300, 400});
+  truth.mark_complete(a);
+  truth.mark_complete(b);
+
+  const double dom = truth.degree_of_multiplexing(a);
+  std::ostringstream os;
+  write_ground_truth_csv(os, truth);
+  const std::string out = os.str();
+
+  std::ostringstream expect;
+  expect.precision(std::numeric_limits<double>::max_digits10);
+  expect << ',' << dom << ',';
+  EXPECT_NE(out.find(expect.str()), std::string::npos)
+      << "expected " << expect.str() << " in:\n"
+      << out;
+  // And the parse really is exact, not just many-digits-close.
+  const std::size_t at = out.find(expect.str());
+  EXPECT_EQ(std::stod(out.substr(at + 1)), dom);
+}
+
+// The precision bump must not leak into the caller's stream state.
+TEST(TraceExport, RestoresStreamPrecision) {
+  std::ostringstream os;
+  os.precision(4);
+  write_packets_csv(os, {});
+  EXPECT_EQ(os.precision(), 4);
 }
 
 TEST(TraceExport, EmptyInputsProduceHeadersOnly) {

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Structural validity of h2priv_trace's pcap export, stdlib only.
+
+Generates a trace with the built CLI, exports it to pcap, and walks the
+result with `struct` the way any capture tool would: global header magic /
+endianness / version, per-record length consistency, Ethernet/IPv4/TCP
+header invariants (EtherType, IHL, protocol, checksums), and TCP seq/flag
+consistency against the source trace's packet CSV. This is the
+"does it open in Wireshark" gate without needing Wireshark.
+
+Usage: pcap_validity_test.py [--build-dir BUILD]
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import pathlib
+import struct
+import subprocess
+import sys
+import tempfile
+
+MAGIC_NANOS = 0xA1B23C4D
+LINKTYPE_ETHERNET = 1
+ETH_HDR = 14
+IP_HDR = 20
+TCP_HDR = 20
+SYNTH_HDR = ETH_HDR + IP_HDR + TCP_HDR
+
+# Simulator flag bits (tcp/segment.hpp) -> wire bits set by the exporter.
+SIM_TO_WIRE = {0x01: 0x02, 0x02: 0x10, 0x04: 0x01, 0x08: 0x04}  # SYN ACK FIN RST
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def inet_checksum(data: bytes, seed: int = 0) -> int:
+    total = seed
+    for i in range(0, len(data) - 1, 2):
+        total += (data[i] << 8) | data[i + 1]
+    if len(data) % 2:
+        total += data[-1] << 8
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def wire_flags(sim_flags: int) -> int:
+    out = 0
+    for sim_bit, wire_bit in SIM_TO_WIRE.items():
+        if sim_flags & sim_bit:
+            out |= wire_bit
+    return out
+
+
+def parse_source_csv(text: str) -> list[dict]:
+    rows = list(csv.DictReader(io.StringIO(text)))
+    if not rows:
+        fail("packet CSV from h2priv_trace inspect is empty")
+    return rows
+
+
+def check_pcap(data: bytes, source_rows: list[dict]) -> None:
+    if len(data) < 24:
+        fail(f"pcap shorter than a global header ({len(data)} bytes)")
+
+    magic = struct.unpack("<I", data[:4])[0]
+    if magic != MAGIC_NANOS:
+        fail(f"magic {magic:#x}, expected little-endian nanosecond {MAGIC_NANOS:#x}")
+    vmaj, vmin, thiszone, sigfigs, snaplen, linktype = struct.unpack(
+        "<HHiIII", data[4:24]
+    )
+    if (vmaj, vmin) != (2, 4):
+        fail(f"pcap version {vmaj}.{vmin}, expected 2.4")
+    if thiszone != 0 or sigfigs != 0:
+        fail("thiszone/sigfigs must be zero")
+    if linktype != LINKTYPE_ETHERNET:
+        fail(f"linktype {linktype}, expected {LINKTYPE_ETHERNET} (Ethernet)")
+
+    offset = 24
+    n = 0
+    prev_ts = -1
+    while offset < len(data):
+        if offset + 16 > len(data):
+            fail(f"record {n}: truncated record header at offset {offset}")
+        ts_sec, ts_nsec, incl, orig = struct.unpack("<IIII", data[offset:offset + 16])
+        offset += 16
+        if ts_nsec >= 1_000_000_000:
+            fail(f"record {n}: ts_nsec {ts_nsec} out of range")
+        if incl != orig:
+            fail(f"record {n}: incl_len {incl} != orig_len {orig}")
+        if incl < SYNTH_HDR or incl > snaplen:
+            fail(f"record {n}: frame length {incl} outside [{SYNTH_HDR}, {snaplen}]")
+        if offset + incl > len(data):
+            fail(f"record {n}: frame overruns the file")
+        frame = data[offset:offset + incl]
+        offset += incl
+
+        ts = ts_sec * 1_000_000_000 + ts_nsec
+        if ts < prev_ts:
+            fail(f"record {n}: timestamps went backwards ({prev_ts} -> {ts})")
+        prev_ts = ts
+
+        # Ethernet II: EtherType IPv4, locally-administered unicast MACs.
+        if struct.unpack("!H", frame[12:14])[0] != 0x0800:
+            fail(f"record {n}: EtherType is not IPv4")
+        for mac_at in (0, 6):
+            mac = frame[mac_at:mac_at + 6]
+            if mac[0] != 0x02 or mac[1:5] != b"\x00\x00\x00\x00":
+                fail(f"record {n}: unexpected MAC {mac.hex(':')}")
+
+        ip = frame[ETH_HDR:ETH_HDR + IP_HDR]
+        if ip[0] != 0x45:
+            fail(f"record {n}: not IPv4/IHL5 ({ip[0]:#x})")
+        total_len = struct.unpack("!H", ip[2:4])[0]
+        if total_len != incl - ETH_HDR:
+            fail(f"record {n}: IP total length {total_len} != frame - eth "
+                 f"({incl - ETH_HDR})")
+        if ip[9] != 6:
+            fail(f"record {n}: IP protocol {ip[9]}, expected TCP")
+        if inet_checksum(ip) != 0:
+            fail(f"record {n}: bad IP checksum")
+        src_ip, dst_ip = ip[12:16], ip[16:20]
+
+        tcp = frame[ETH_HDR + IP_HDR:SYNTH_HDR]
+        if (tcp[12] >> 4) != 5:
+            fail(f"record {n}: TCP data offset != 5 (options are never emitted)")
+        payload = frame[SYNTH_HDR:]
+        if payload.strip(b"\x00"):
+            fail(f"record {n}: payload is not all zeros (ciphertext leaked?)")
+        pseudo = sum(
+            struct.unpack("!HH", addr)[0] + struct.unpack("!HH", addr)[1]
+            for addr in (src_ip, dst_ip)
+        ) + 6 + TCP_HDR + len(payload)
+        if inet_checksum(tcp + payload, pseudo) != 0:
+            fail(f"record {n}: bad TCP checksum")
+
+        # Cross-check against the source trace row.
+        if n >= len(source_rows):
+            fail(f"pcap has more records ({n + 1}) than the trace")
+        row = source_rows[n]
+        src_port, dst_port, seq, ack = struct.unpack("!HHII", tcp[:12])
+        c2s = row["dir"] == "c2s"
+        if (src_port, dst_port) != ((49152, 443) if c2s else (443, 49152)):
+            fail(f"record {n}: ports {src_port}->{dst_port} disagree with "
+                 f"direction {row['dir']}")
+        if seq != int(row["seq"]) & 0xFFFFFFFF:
+            fail(f"record {n}: seq {seq} != trace seq {row['seq']} (mod 2^32)")
+        if ack != int(row["ack"]) & 0xFFFFFFFF:
+            fail(f"record {n}: ack {ack} != trace ack {row['ack']} (mod 2^32)")
+        if tcp[13] != wire_flags(int(row["flags"])):
+            fail(f"record {n}: TCP flags {tcp[13]:#x} != mapped sim flags "
+                 f"{row['flags']}")
+        if len(payload) != int(row["payload_len"]):
+            fail(f"record {n}: payload {len(payload)} != trace payload_len "
+                 f"{row['payload_len']}")
+        if ts != int(row["time_ns"]):
+            fail(f"record {n}: timestamp {ts} != trace time_ns {row['time_ns']}")
+        n += 1
+
+    if n != len(source_rows):
+        fail(f"pcap has {n} records, trace has {len(source_rows)}")
+    print(f"pcap_validity: OK ({n} records, {len(data)} bytes)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    ns = parser.parse_args()
+
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    cli = repo / ns.build_dir / "tools" / "h2priv_trace"
+    if not cli.exists():
+        fail(f"{cli} not built")
+
+    with tempfile.TemporaryDirectory(prefix="h2priv_pcap_") as tmp:
+        trace = pathlib.Path(tmp) / "t.h2t"
+        pcap = pathlib.Path(tmp) / "t.pcap"
+        subprocess.run(
+            [cli, "generate", "--out", trace, "--scenario", "fig2", "--seed", "1000"],
+            check=True, capture_output=True,
+        )
+        subprocess.run(
+            [cli, "export-pcap", trace, pcap], check=True, capture_output=True
+        )
+        rows = parse_source_csv(
+            subprocess.run(
+                [cli, "inspect", trace, "--packets-csv"],
+                check=True, capture_output=True, text=True,
+            ).stdout
+        )
+        check_pcap(pcap.read_bytes(), rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

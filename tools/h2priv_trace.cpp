@@ -1,0 +1,289 @@
+// h2priv_trace — the trace-store workbench.
+//
+//   generate    run the simulator and capture .h2t traces (single or corpus)
+//   inspect     print a trace's metadata, section table and verdict
+//   export-pcap synthesize a Wireshark-compatible pcap from a trace
+//   replay      recompute the attack verdict offline; verify against stored
+//   digest      print FNV-1a digests (trace files or a whole corpus)
+//
+// Corpus workflow:
+//   h2priv_trace generate --corpus DIR --runs 20 --scenario table2 --seed 1000
+//   h2priv_trace inspect DIR/run_1000.h2t
+//   h2priv_trace replay --corpus DIR          # hard-fails on any mismatch
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "h2priv/capture/corpus.hpp"
+#include "h2priv/capture/pcap_export.hpp"
+#include "h2priv/capture/replay.hpp"
+#include "h2priv/capture/trace_reader.hpp"
+#include "h2priv/core/experiment.hpp"
+#include "h2priv/core/parallel_runner.hpp"
+
+using namespace h2priv;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: h2priv_trace <command> [args]\n"
+      "  generate (--out FILE | --corpus DIR --runs N) [--scenario NAME]\n"
+      "           [--seed N] [--jobs N]   scenarios: fig2 | table2 | baseline\n"
+      "  inspect FILE.h2t [--packets-csv] [--records-csv]\n"
+      "  export-pcap FILE.h2t OUT.pcap\n"
+      "  replay (FILE.h2t | --corpus DIR)\n"
+      "  digest (FILE.h2t... | --corpus DIR)\n");
+  return 2;
+}
+
+/// Maps a scenario name onto the RunConfig the golden tests use.
+core::RunConfig scenario_config(const std::string& scenario) {
+  core::RunConfig cfg;
+  if (scenario == "fig2") {
+    cfg.manual_spacing = util::milliseconds(50);
+  } else if (scenario == "table2") {
+    cfg.attack_enabled = true;
+  } else if (scenario == "baseline" || scenario.empty()) {
+    // stock page load, adversary passive
+  } else {
+    throw std::runtime_error("unknown scenario: " + scenario +
+                             " (expected fig2 | table2 | baseline)");
+  }
+  return cfg;
+}
+
+const char* verdict_str(bool b) { return b ? "yes" : "no"; }
+
+void print_summary(const capture::TraceSummary& s, const char* heading) {
+  std::printf("%s\n", heading);
+  std::printf("  monitor: %llu packets, %lld GETs\n",
+              static_cast<unsigned long long>(s.monitor_packets),
+              static_cast<long long>(s.monitor_gets));
+  std::printf("  html: identified=%s serialized=%s success=%s dom=%s\n",
+              verdict_str(s.html.identified), verdict_str(s.html.serialized_primary),
+              verdict_str(s.html.attack_success),
+              s.html.has_dom ? std::to_string(s.html.primary_dom).c_str() : "-");
+  int successes = 0;
+  for (const capture::ObjectVerdict& v : s.emblems_by_position) {
+    successes += v.attack_success ? 1 : 0;
+  }
+  std::printf("  emblems: %d/8 attack successes, %lld/8 sequence positions\n",
+              successes, static_cast<long long>(s.sequence_positions_correct));
+  std::printf("  predicted sequence:");
+  for (const std::string& label : s.predicted_sequence) {
+    std::printf(" %s", label.c_str());
+  }
+  std::printf("\n");
+}
+
+int cmd_generate(const std::vector<std::string>& args) {
+  std::string out, corpus, scenario;
+  std::uint64_t seed = 1000;
+  int runs = 1, jobs = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const bool has_next = i + 1 < args.size();
+    if (a == "--out" && has_next) {
+      out = args[++i];
+    } else if (a == "--corpus" && has_next) {
+      corpus = args[++i];
+    } else if (a == "--scenario" && has_next) {
+      scenario = args[++i];
+    } else if (a == "--seed" && has_next) {
+      seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (a == "--runs" && has_next) {
+      runs = std::atoi(args[++i].c_str());
+    } else if (a == "--jobs" && has_next) {
+      jobs = std::atoi(args[++i].c_str());
+    } else {
+      std::fprintf(stderr, "generate: bad argument %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (out.empty() == corpus.empty()) {
+    std::fprintf(stderr, "generate: exactly one of --out / --corpus required\n");
+    return 2;
+  }
+  core::RunConfig cfg = scenario_config(scenario);
+  cfg.seed = seed;
+  cfg.capture.scenario = scenario.empty() ? "baseline" : scenario;
+  if (!out.empty()) {
+    cfg.capture.path = out;
+    const core::RunResult r = core::run_once(cfg);
+    std::printf("wrote %s (%llu packets, %d GETs)\n", out.c_str(),
+                static_cast<unsigned long long>(r.monitor_packets), r.monitor_gets);
+    return 0;
+  }
+  cfg.capture.corpus_dir = corpus;
+  const std::vector<core::RunResult> results =
+      core::run_many(cfg, runs, core::Parallelism{jobs});
+  std::printf("wrote %zu traces + manifest.txt to %s\n", results.size(),
+              corpus.c_str());
+  return 0;
+}
+
+int cmd_inspect(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  bool packets_csv = false, records_csv = false;
+  std::string path;
+  for (const std::string& a : args) {
+    if (a == "--packets-csv") {
+      packets_csv = true;
+    } else if (a == "--records-csv") {
+      records_csv = true;
+    } else {
+      path = a;
+    }
+  }
+  const capture::TraceReader trace = capture::TraceReader::open(path);
+  if (packets_csv) {
+    std::printf("time_ns,dir,wire_size,seq,ack,flags,payload_len\n");
+    for (const analysis::PacketObservation& p : trace.packets()) {
+      std::printf("%lld,%s,%lld,%llu,%llu,%u,%zu\n", static_cast<long long>(p.time.ns),
+                  p.dir == net::Direction::kClientToServer ? "c2s" : "s2c",
+                  static_cast<long long>(p.wire_size),
+                  static_cast<unsigned long long>(p.seq),
+                  static_cast<unsigned long long>(p.ack), p.flags, p.payload_len);
+    }
+    return 0;
+  }
+  if (records_csv) {
+    std::printf("time_ns,dir,type,ciphertext_len,stream_offset\n");
+    for (const auto dir :
+         {net::Direction::kClientToServer, net::Direction::kServerToClient}) {
+      for (const analysis::RecordObservation& r : trace.records(dir)) {
+        std::printf("%lld,%s,%u,%zu,%llu\n", static_cast<long long>(r.time.ns),
+                    dir == net::Direction::kClientToServer ? "c2s" : "s2c",
+                    static_cast<unsigned>(r.type), r.ciphertext_len,
+                    static_cast<unsigned long long>(r.stream_offset));
+      }
+    }
+    return 0;
+  }
+
+  const capture::TraceMeta& meta = trace.meta();
+  std::printf("%s: %llu bytes, digest %016llx\n", path.c_str(),
+              static_cast<unsigned long long>(trace.file_size()),
+              static_cast<unsigned long long>(trace.digest()));
+  std::printf("meta: seed=%llu scenario=%s site=%s attack=%s pad=%s push=%s\n",
+              static_cast<unsigned long long>(meta.seed), meta.scenario.c_str(),
+              meta.site.c_str(), verdict_str(meta.attack_enabled),
+              verdict_str(meta.pad_sensitive_objects), verdict_str(meta.push_emblems));
+  std::printf("meta: deadline=%.3fs horizon=%.6fs party_order=",
+              static_cast<double>(meta.deadline_ns) / 1e9,
+              static_cast<double>(meta.attack_horizon_ns) / 1e9);
+  for (const int p : meta.party_order) std::printf("%d ", p + 1);
+  std::printf("\n");
+  std::printf("sections:\n");
+  for (const capture::TraceReader::SectionInfo& s : trace.sections()) {
+    const char* name = "?";
+    switch (s.id) {
+      case capture::Section::kMeta: name = "meta"; break;
+      case capture::Section::kPackets: name = "packets"; break;
+      case capture::Section::kRecordsC2S: name = "records_c2s"; break;
+      case capture::Section::kRecordsS2C: name = "records_s2c"; break;
+      case capture::Section::kGroundTruth: name = "ground_truth"; break;
+      case capture::Section::kSummary: name = "summary"; break;
+    }
+    std::printf("  %-12s offset=%-8llu length=%-8llu count=%llu\n", name,
+                static_cast<unsigned long long>(s.offset),
+                static_cast<unsigned long long>(s.length),
+                static_cast<unsigned long long>(s.count));
+  }
+  if (trace.has_summary()) print_summary(trace.summary(), "stored verdict:");
+  return 0;
+}
+
+int cmd_export_pcap(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const capture::TraceReader trace = capture::TraceReader::open(args[0]);
+  capture::export_pcap(trace.packets(), args[1]);
+  std::printf("wrote %s (%zu packets)\n", args[1].c_str(), trace.packets().size());
+  return 0;
+}
+
+int replay_one(const std::string& path, bool print) {
+  const capture::TraceReader trace = capture::TraceReader::open(path);
+  const capture::ReplayResult r = capture::replay(trace);
+  if (print) print_summary(r.summary, "replayed verdict:");
+  if (!r.records_match) {
+    std::fprintf(stderr, "%s: FAIL — replayed records differ from stored\n",
+                 path.c_str());
+    return 1;
+  }
+  if (trace.has_summary() && !r.summary_matches) {
+    std::fprintf(stderr, "%s: FAIL — replayed verdict differs from stored\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("%s: replay ok (records + verdict bit-identical)\n", path.c_str());
+  return 0;
+}
+
+int cmd_replay(const std::vector<std::string>& args) {
+  if (args.size() == 2 && args[0] == "--corpus") {
+    const capture::Manifest manifest =
+        capture::read_manifest(args[1] + "/manifest.txt");
+    int failures = 0;
+    for (const capture::ManifestEntry& e : manifest.entries) {
+      const std::string path = args[1] + "/" + e.file;
+      if (capture::digest_file(path) != e.digest) {
+        std::fprintf(stderr, "%s: FAIL — digest mismatch vs manifest\n", path.c_str());
+        ++failures;
+        continue;
+      }
+      failures += replay_one(path, /*print=*/false);
+    }
+    std::printf("corpus replay: %zu traces, %d failures\n", manifest.entries.size(),
+                failures);
+    return failures == 0 ? 0 : 1;
+  }
+  if (args.size() != 1) return usage();
+  return replay_one(args[0], /*print=*/true);
+}
+
+int cmd_digest(const std::vector<std::string>& args) {
+  if (args.size() == 2 && args[0] == "--corpus") {
+    const capture::Manifest manifest =
+        capture::read_manifest(args[1] + "/manifest.txt");
+    int failures = 0;
+    for (const capture::ManifestEntry& e : manifest.entries) {
+      const std::uint64_t got = capture::digest_file(args[1] + "/" + e.file);
+      const bool ok = got == e.digest;
+      std::printf("%016llx %s%s\n", static_cast<unsigned long long>(got),
+                  e.file.c_str(), ok ? "" : "  MISMATCH");
+      failures += ok ? 0 : 1;
+    }
+    return failures == 0 ? 0 : 1;
+  }
+  if (args.empty()) return usage();
+  for (const std::string& path : args) {
+    std::printf("%016llx %s\n",
+                static_cast<unsigned long long>(capture::digest_file(path)),
+                path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "inspect") return cmd_inspect(args);
+    if (cmd == "export-pcap") return cmd_export_pcap(args);
+    if (cmd == "replay") return cmd_replay(args);
+    if (cmd == "digest") return cmd_digest(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "h2priv_trace: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -65,6 +65,9 @@ SIM_CRITICAL = (
     "src/net",
     "src/core",
     "src/web",
+    # capture serializes traces and replays them through the analysis stack;
+    # any ordering or ambient-state leak here breaks byte-identical corpora.
+    "src/capture",
 )
 ALL_SRC = ("src",)
 THREAD_LOCAL_EXEMPT = ("src/util", "src/obs")

@@ -60,7 +60,7 @@ fi
 # Fixture files under tests/lint/ are deliberately unhealthy and are not
 # part of the build, so they never enter the compilation database.
 if [[ ${#paths[@]} -eq 0 ]]; then
-  mapfile -t paths < <(find src bench examples tests -path tests/lint -prune -o \
+  mapfile -t paths < <(find src bench examples tests tools -path tests/lint -prune -o \
                          -name '*.cpp' -print | sort)
 fi
 
