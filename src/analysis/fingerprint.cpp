@@ -64,4 +64,126 @@ std::string Fingerprinter::classify(const SizeProfile& probe) const {
   return classify_with_margin(probe).label;
 }
 
+std::string Fingerprinter::classify_knn(const SizeProfile& probe,
+                                        std::size_t k) const {
+  return classify_knn_with_votes(probe, k).label;
+}
+
+Fingerprinter::KnnVerdict Fingerprinter::classify_knn_with_votes(
+    const SizeProfile& probe, std::size_t k) const {
+  if (traces_.empty() || k == 0) return {};
+  k = std::min(k, traces_.size());
+
+  std::vector<std::size_t> order(traces_.size());
+  std::vector<double> distance(traces_.size());
+  for (std::size_t i = 0; i < traces_.size(); ++i) {
+    order[i] = i;
+    distance[i] = profile_distance(probe, traces_[i].profile);
+  }
+  // Total order on (distance, label, index) keeps the neighbour set — and
+  // with it the vote — independent of training insertion order.
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(k), order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      if (distance[a] != distance[b]) {
+                        return distance[a] < distance[b];
+                      }
+                      if (traces_[a].label != traces_[b].label) {
+                        return traces_[a].label < traces_[b].label;
+                      }
+                      return a < b;
+                    });
+
+  struct Tally {
+    std::size_t votes = 0;
+    double total_distance = 0;
+  };
+  std::map<std::string, Tally> tallies;
+  for (std::size_t n = 0; n < k; ++n) {
+    Tally& t = tallies[traces_[order[n]].label];
+    ++t.votes;
+    t.total_distance += distance[order[n]];
+  }
+  KnnVerdict verdict;
+  verdict.k = k;
+  Tally best;
+  for (const auto& [label, t] : tallies) {
+    // Map iteration is label-ascending, so strict improvement implements the
+    // lexicographic tie-break for free.
+    if (verdict.label.empty() || t.votes > best.votes ||
+        (t.votes == best.votes && t.total_distance < best.total_distance)) {
+      verdict.label = label;
+      best = t;
+    }
+  }
+  verdict.votes = best.votes;
+  verdict.total_distance = best.total_distance;
+  return verdict;
+}
+
+namespace {
+
+/// Lower median of `v` (sorted in place); integer-only, deterministic.
+std::size_t lower_median(std::vector<std::size_t>& v) {
+  std::sort(v.begin(), v.end());
+  return v[(v.size() - 1) / 2];
+}
+
+/// Folds a label's training profiles into one centroid: resample each
+/// profile to the label's (lower-)median length, then take the per-position
+/// lower median. Sampling sorted profiles at non-decreasing fractional
+/// positions keeps the centroid sorted.
+SizeProfile fold_centroid(const std::vector<SizeProfile>& traces) {
+  std::vector<std::size_t> lengths;
+  lengths.reserve(traces.size());
+  for (const SizeProfile& t : traces) lengths.push_back(t.size());
+  const std::size_t target = lower_median(lengths);
+  SizeProfile centroid(target);
+  std::vector<std::size_t> column;
+  for (std::size_t i = 0; i < target; ++i) {
+    column.clear();
+    for (const SizeProfile& t : traces) {
+      if (t.empty()) continue;
+      column.push_back(t[i * t.size() / target]);
+    }
+    if (!column.empty()) centroid[i] = lower_median(column);
+  }
+  return centroid;
+}
+
+}  // namespace
+
+void CentroidModel::train(const std::string& label, SizeProfile profile) {
+  Label& entry = labels_[label];
+  entry.traces.push_back(std::move(profile));
+  entry.centroid = fold_centroid(entry.traces);
+}
+
+std::string CentroidModel::classify(const SizeProfile& probe) const {
+  return classify_with_margin(probe).label;
+}
+
+Fingerprinter::Verdict CentroidModel::classify_with_margin(
+    const SizeProfile& probe) const {
+  Fingerprinter::Verdict v;
+  v.best_distance = std::numeric_limits<double>::infinity();
+  v.runner_up_distance = std::numeric_limits<double>::infinity();
+  for (const auto& [label, entry] : labels_) {
+    const double d = profile_distance(probe, entry.centroid);
+    if (d < v.best_distance) {  // strict: first (smallest) label wins ties
+      v.runner_up_distance = v.best_distance;
+      v.best_distance = d;
+      v.label = label;
+    } else if (d < v.runner_up_distance) {
+      v.runner_up_distance = d;
+    }
+  }
+  return v;
+}
+
+const SizeProfile* CentroidModel::centroid(const std::string& label) const {
+  const auto it = labels_.find(label);
+  return it == labels_.end() ? nullptr : &it->second.centroid;
+}
+
 }  // namespace h2priv::analysis

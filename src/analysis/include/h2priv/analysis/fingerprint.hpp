@@ -45,6 +45,25 @@ class Fingerprinter {
   };
   [[nodiscard]] Verdict classify_with_margin(const SizeProfile& probe) const;
 
+  /// k-nearest-neighbour vote: the k closest training traces vote and the
+  /// majority label wins. Ties break on smaller summed distance among the
+  /// tied labels, then on the lexicographically smaller label — so the
+  /// verdict is deterministic for any training-trace insertion order.
+  /// k == 1 reduces to classify(); empty string if untrained or k == 0.
+  [[nodiscard]] std::string classify_knn(const SizeProfile& probe,
+                                         std::size_t k) const;
+
+  /// classify_knn plus the vote tally behind it (classifier confidence:
+  /// votes/k ranks verdicts, total_distance breaks ranking ties).
+  struct KnnVerdict {
+    std::string label;
+    std::size_t votes = 0;       ///< neighbours that voted for `label`
+    std::size_t k = 0;           ///< effective neighbourhood size (<= trace count)
+    double total_distance = 0;   ///< summed distance of those votes
+  };
+  [[nodiscard]] KnnVerdict classify_knn_with_votes(const SizeProfile& probe,
+                                                   std::size_t k) const;
+
   [[nodiscard]] std::size_t trace_count() const noexcept { return traces_.size(); }
 
  private:
@@ -53,6 +72,40 @@ class Fingerprinter {
     SizeProfile profile;
   };
   std::vector<Trace> traces_;
+};
+
+/// Nearest-centroid fingerprinting: each label is folded into a single
+/// centroid profile — the per-position integer median of its training
+/// profiles, each resampled to the label's median profile length. Memory
+/// and classification cost are O(labels), not O(training traces), and the
+/// centroid is integer-only and independent of training order, so the model
+/// itself is deterministic (the determinism linter's SIM_CRITICAL rules
+/// apply to the corpus pipeline built on top of it).
+class CentroidModel {
+ public:
+  /// Adds one labelled training trace and refolds that label's centroid.
+  void train(const std::string& label, SizeProfile profile);
+
+  /// Nearest-centroid classification; empty string if untrained. Ties break
+  /// on the lexicographically smaller label.
+  [[nodiscard]] std::string classify(const SizeProfile& probe) const;
+
+  /// Nearest-centroid verdict with best / runner-up centroid distances
+  /// (same confidence shape as Fingerprinter::classify_with_margin).
+  [[nodiscard]] Fingerprinter::Verdict classify_with_margin(
+      const SizeProfile& probe) const;
+
+  /// The folded centroid for `label`, or nullptr if never trained.
+  [[nodiscard]] const SizeProfile* centroid(const std::string& label) const;
+
+  [[nodiscard]] std::size_t label_count() const noexcept { return labels_.size(); }
+
+ private:
+  struct Label {
+    std::vector<SizeProfile> traces;
+    SizeProfile centroid;
+  };
+  std::map<std::string, Label> labels_;
 };
 
 }  // namespace h2priv::analysis

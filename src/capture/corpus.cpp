@@ -6,7 +6,8 @@
 #include <sstream>
 
 #include "h2priv/capture/trace_format.hpp"
-#include "h2priv/capture/trace_reader.hpp"
+#include "h2priv/capture/trace_view.hpp"
+#include "h2priv/util/mapped_file.hpp"
 
 namespace h2priv::capture {
 
@@ -15,14 +16,21 @@ std::string trace_filename(std::uint64_t seed) {
 }
 
 std::uint64_t digest_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw TraceError("cannot open for digest: " + path);
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  util::Bytes data(static_cast<std::size_t>(size));
-  if (size > 0) in.read(reinterpret_cast<char*>(data.data()), size);
-  if (!in) throw TraceError("read failed during digest: " + path);
-  return fnv1a(data);
+  // Stream in fixed-size chunks — digesting a trace must not cost its file
+  // size in memory. Chunking matches digest_view(), so a digest computed
+  // over an mmap'd image is bit-identical by construction.
+  util::Bytes chunk(util::kFileChunkBytes);
+  std::uint64_t h = kFnv1aInit;
+  while (in) {
+    in.read(reinterpret_cast<char*>(chunk.data()),
+            static_cast<std::streamsize>(chunk.size()));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    h = fnv1a_update(h, util::BytesView{chunk.data(), got});
+  }
+  if (!in.eof()) throw TraceError("read failed during digest: " + path);
+  return h;
 }
 
 void write_manifest(const Manifest& m, const std::string& path) {

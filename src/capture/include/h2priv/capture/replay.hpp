@@ -12,11 +12,27 @@
 // recorded packets over that stream drives the reassembler through the same
 // states as the live run — retransmissions, reordering and all — so the
 // recomputed records, GET count, verdicts and DoM values are bit-identical.
+//
+// Two replay engines share that construction:
+//  - replay_into(TraceReader&, ...): eager — materializes both full
+//    per-direction streams (O(stream bytes) memory).
+//  - replay_into(TraceFile&, ...): chunked — streams packets off the mmap'd
+//    image with a PacketCursor and synthesizes each packet's payload into a
+//    reusable scratch buffer, so peak memory is O(records + one packet), not
+//    O(stream bytes). Bit-identical monitor state to the eager engine.
+//
+// The scoring half (score_with_predictor / count_gets) is split out so the
+// corpus pipeline can score straight off stored record sections without any
+// reassembly at all — see score_stored().
 #pragma once
+
+#include <span>
 
 #include "h2priv/capture/trace_format.hpp"
 #include "h2priv/capture/trace_reader.hpp"
+#include "h2priv/capture/trace_view.hpp"
 #include "h2priv/core/monitor.hpp"
+#include "h2priv/core/predictor.hpp"
 
 namespace h2priv::capture {
 
@@ -34,10 +50,47 @@ struct ReplayResult {
 /// TraceError if the trace's streams cannot be synthesized faithfully.
 void replay_into(const TraceReader& trace, core::TrafficMonitor& monitor);
 
+/// Chunked engine: same observable monitor state as the eager overload, but
+/// packets stream off the trace and payloads are synthesized per packet into
+/// a reusable scratch buffer. Requires records sorted by stream offset (what
+/// TraceWriter emits). Peak memory: O(records) + one packet payload.
+void replay_into(const TraceFile& trace, core::TrafficMonitor& monitor);
+
+/// Applies TrafficMonitor's GET filter (application-data records whose
+/// plaintext estimate lies in [min,max], after the setup skip) to a stored
+/// client->server record sequence. Equals the live monitor's get_count()
+/// whenever the stored records match what reassembly would recompute.
+[[nodiscard]] std::int64_t count_gets(
+    std::span<const analysis::RecordObservation> c2s_records,
+    const core::MonitorConfig& config = {});
+
+/// The scoring step of core::run_once, recomputed offline: verdicts for the
+/// HTML and every emblem position, sequence recovery, and the per-position
+/// attack_success overwrite. Shared by full replay and records-direct
+/// corpus scoring.
+[[nodiscard]] TraceSummary score_with_predictor(const TraceMeta& meta,
+                                                const analysis::GroundTruth& truth,
+                                                const core::ObjectPredictor& predictor,
+                                                std::uint64_t monitor_packets,
+                                                std::int64_t monitor_gets);
+
+/// Records-direct scoring: no reassembly, no monitor — the predictor runs
+/// straight over the stored server->client record section and the GET count
+/// is recomputed from the stored client->server section. Produces the same
+/// TraceSummary as replay() for every trace whose stored records are
+/// faithful (which replay()'s records_match verifies). Requires ground
+/// truth. This is the corpus pipeline's fast path.
+[[nodiscard]] TraceSummary score_stored(const TraceFile& trace);
+
 /// Full offline pipeline: replay_into a fresh monitor, then score with
 /// core::ObjectPredictor against the stored ground truth and metadata,
 /// mirroring core::run_once's scoring step. Requires ground truth (and uses
 /// the stored summary, when present, for the fidelity cross-check).
 [[nodiscard]] ReplayResult replay(const TraceReader& trace);
+
+/// Chunked-engine variant of replay() over a lazy TraceFile; the monitor
+/// runs with packet retention off, so peak memory stays bounded regardless
+/// of trace length. Verdict-identical to replay().
+[[nodiscard]] ReplayResult replay(const TraceFile& trace);
 
 }  // namespace h2priv::capture

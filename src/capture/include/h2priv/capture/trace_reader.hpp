@@ -1,11 +1,14 @@
-// Indexed .h2t reader.
+// Indexed .h2t reader (eager).
 //
-// Validates both magics and the version, loads the trailer's section table
-// (the O(1) locator — no section is found by scanning another), then decodes
-// each present section back into the same in-memory types the live run
+// Decodes every present section up front — via the shared validators and
+// decoders in trace_view.hpp — into the same in-memory types the live run
 // produced: PacketObservation / RecordObservation vectors, a rebuilt
 // GroundTruth, and the stored TraceSummary. Round-tripping through
 // TraceWriter and back is exact — field-for-field, bit-for-bit.
+//
+// open() maps the file (util::MappedFile) and releases the mapping once the
+// vectors are built; corpus-scale callers that only need a section or two
+// should use the lazy capture::TraceFile instead.
 #pragma once
 
 #include <cstdint>
@@ -16,18 +19,14 @@
 #include "h2priv/analysis/ground_truth.hpp"
 #include "h2priv/analysis/observation.hpp"
 #include "h2priv/capture/trace_format.hpp"
+#include "h2priv/capture/trace_view.hpp"
 #include "h2priv/util/bytes.hpp"
 
 namespace h2priv::capture {
 
 class TraceReader {
  public:
-  struct SectionInfo {
-    Section id = Section::kMeta;
-    std::uint64_t offset = 0;
-    std::uint64_t length = 0;
-    std::uint64_t count = 0;
-  };
+  using SectionInfo = capture::SectionInfo;
 
   /// Reads and parses a .h2t file; bumps the capture.* read counters.
   /// Throws TraceError on malformed input or I/O failure.
@@ -35,6 +34,9 @@ class TraceReader {
 
   /// Parses an in-memory image (testing / digest paths). Throws TraceError.
   explicit TraceReader(util::Bytes file_bytes);
+
+  /// Decodes everything from an already-opened lazy view.
+  explicit TraceReader(const TraceFile& file);
 
   [[nodiscard]] const TraceMeta& meta() const noexcept { return meta_; }
   [[nodiscard]] const std::vector<analysis::PacketObservation>& packets()
@@ -59,9 +61,7 @@ class TraceReader {
   [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
 
  private:
-  void parse(const util::Bytes& data);
-  [[nodiscard]] util::BytesView section_view(const util::Bytes& data,
-                                             const SectionInfo& s) const;
+  void load(const TraceFile& file);
 
   TraceMeta meta_;
   std::vector<analysis::PacketObservation> packets_;
@@ -73,8 +73,5 @@ class TraceReader {
   std::uint64_t file_size_ = 0;
   std::uint64_t digest_ = 0;
 };
-
-/// FNV-1a 64 over a byte span (same parameters as tests/support/trace_hash).
-[[nodiscard]] std::uint64_t fnv1a(util::BytesView data) noexcept;
 
 }  // namespace h2priv::capture

@@ -1,0 +1,149 @@
+// Structural access to a .h2t image: validation, the section index, and the
+// section decoders — shared by every reader path.
+//
+// Three layers build on this file:
+//   TraceFile    lazy, zero-copy: mmaps the file (util::MappedFile), checks
+//                the skeleton once, and decodes only the sections a caller
+//                asks for. The corpus scoring pipeline's reader — a scorer
+//                that needs meta + records never touches the packet bytes.
+//   TraceReader  eager: decodes everything into vectors up front
+//                (trace_reader.hpp; implemented on top of these decoders).
+//   PacketCursor streaming: yields one PacketObservation at a time from the
+//                packets section, O(1) memory — what chunked replay iterates
+//                so multi-hour traces never materialize a packet vector.
+//
+// Validation here is hardened against hostile input: wrong magics, truncated
+// trailers, section offsets past EOF, overlapping sections and implausible
+// entry counts all raise TraceError before any decoder touches the payload.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "h2priv/analysis/ground_truth.hpp"
+#include "h2priv/analysis/observation.hpp"
+#include "h2priv/capture/trace_format.hpp"
+#include "h2priv/util/bytes.hpp"
+#include "h2priv/util/mapped_file.hpp"
+
+namespace h2priv::capture {
+
+struct SectionInfo {
+  Section id = Section::kMeta;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t count = 0;
+};
+
+/// FNV-1a 64 over a byte span (same parameters as tests/support/trace_hash).
+[[nodiscard]] std::uint64_t fnv1a(util::BytesView data) noexcept;
+/// Incremental FNV-1a: folds `data` into a running hash. Seed with
+/// kFnv1aInit; fnv1a(x) == fnv1a_update(kFnv1aInit, x).
+inline constexpr std::uint64_t kFnv1aInit = 0xcbf29ce484222325ULL;
+[[nodiscard]] std::uint64_t fnv1a_update(std::uint64_t h, util::BytesView data) noexcept;
+/// FNV-1a over a view walked in util::kFileChunkBytes chunks — the exact
+/// code path capture::digest_file streams a file through, so an mmap'd
+/// image and a buffered read digest identically by construction.
+[[nodiscard]] std::uint64_t digest_view(util::BytesView data) noexcept;
+
+/// Validates the .h2t skeleton of `image` (magics, version, trailer) and
+/// returns the section table in file order. Throws TraceError on any
+/// structural fault: truncation, out-of-range or overlapping sections, or a
+/// section count inconsistent with its byte length.
+[[nodiscard]] std::vector<SectionInfo> validate_and_index(util::BytesView image);
+
+/// First section with `id`, or nullptr.
+[[nodiscard]] const SectionInfo* find_section(const std::vector<SectionInfo>& sections,
+                                              Section id) noexcept;
+
+/// Bounds-checked payload view of one section. Throws TraceError.
+[[nodiscard]] util::BytesView section_view(util::BytesView image,
+                                           const SectionInfo& s);
+
+// --- section decoders (each throws TraceError on malformed payloads) --------
+
+[[nodiscard]] TraceMeta decode_meta(util::BytesView payload);
+[[nodiscard]] std::vector<analysis::RecordObservation> decode_records(
+    util::BytesView payload, std::uint64_t count, net::Direction dir);
+[[nodiscard]] analysis::GroundTruth decode_ground_truth(util::BytesView payload);
+[[nodiscard]] TraceSummary decode_summary(util::BytesView payload);
+
+/// Streaming decoder over the packets section: one PacketObservation per
+/// next() call, O(1) state. Restartable by constructing a fresh cursor.
+class PacketCursor {
+ public:
+  PacketCursor(util::BytesView payload, std::uint64_t count);
+
+  /// Decodes the next packet into `out`; false when the section is
+  /// exhausted. Throws TraceError on malformed input.
+  bool next(analysis::PacketObservation& out);
+
+  [[nodiscard]] std::uint64_t remaining() const noexcept { return left_; }
+
+ private:
+  struct DirState {
+    std::uint64_t seq = 0, ack = 0, len = 0;
+    std::int64_t wire = 0;
+  };
+  util::ByteReader reader_;
+  std::uint64_t left_ = 0;
+  std::int64_t prev_time_ns_ = 0;
+  std::array<DirState, 2> dirs_{};
+};
+
+/// Lazy, mmap-backed .h2t accessor: opening validates the skeleton and
+/// decodes the (tiny) meta section; everything else decodes on demand from
+/// the mapped image. The file stays mapped for the object's lifetime, so
+/// views returned by section_bytes() are zero-copy.
+class TraceFile {
+ public:
+  /// Maps and validates `path`. Throws TraceError.
+  [[nodiscard]] static TraceFile open(const std::string& path);
+
+  /// Validates an in-memory image the caller owns elsewhere (testing).
+  explicit TraceFile(util::Bytes image);
+
+  [[nodiscard]] const TraceMeta& meta() const noexcept { return meta_; }
+  [[nodiscard]] const std::vector<SectionInfo>& sections() const noexcept {
+    return sections_;
+  }
+  [[nodiscard]] const SectionInfo* section(Section id) const noexcept {
+    return find_section(sections_, id);
+  }
+  [[nodiscard]] bool has_section(Section id) const noexcept {
+    return section(id) != nullptr;
+  }
+
+  /// Zero-copy payload view of `id`. Throws TraceError if absent.
+  [[nodiscard]] util::BytesView section_bytes(Section id) const;
+
+  [[nodiscard]] std::uint64_t packet_count() const noexcept;
+  /// Streaming cursor over the packets section (empty cursor if absent).
+  [[nodiscard]] PacketCursor packets() const;
+  /// Eagerly decodes one records section (empty if absent).
+  [[nodiscard]] std::vector<analysis::RecordObservation> records(
+      net::Direction dir) const;
+  [[nodiscard]] analysis::GroundTruth ground_truth() const;
+  [[nodiscard]] TraceSummary summary() const;
+
+  [[nodiscard]] std::uint64_t file_size() const noexcept { return image_.size(); }
+  /// FNV-1a 64 of the whole image, chunk-streamed; computed once, cached.
+  [[nodiscard]] std::uint64_t digest() const;
+  [[nodiscard]] util::BytesView image() const noexcept { return image_; }
+
+ private:
+  TraceFile() = default;
+  void index();
+
+  util::MappedFile mapped_;
+  util::Bytes owned_;
+  util::BytesView image_;
+  TraceMeta meta_;
+  std::vector<SectionInfo> sections_;
+  mutable std::optional<std::uint64_t> digest_;
+};
+
+}  // namespace h2priv::capture

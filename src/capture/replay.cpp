@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "h2priv/core/experiment.hpp"
-#include "h2priv/core/predictor.hpp"
 #include "h2priv/obs/metrics.hpp"
 #include "h2priv/tls/record.hpp"
 
@@ -69,6 +68,92 @@ namespace {
   return stream;
 }
 
+/// One direction's stream, synthesized a packet at a time instead of whole:
+/// given a [start, start+len) range of stream offsets, writes the bytes the
+/// full synthesize_stream() would hold there — zeros, overlapped by any real
+/// record headers and the phantom trailing header. Bit-identical output to
+/// slicing the eager stream, with O(1) memory beyond the record vector the
+/// caller already owns.
+class ChunkSynthesizer {
+ public:
+  ChunkSynthesizer(const std::vector<analysis::RecordObservation>& records,
+                   std::uint64_t total)
+      : records_(records), total_(total) {
+    std::uint64_t prev = 0;
+    for (const analysis::RecordObservation& rec : records_) {
+      const std::uint64_t off = rec.stream_offset;
+      if (off + tls::kHeaderBytes > total_) {
+        throw TraceError("record header extends past the synthesized stream");
+      }
+      if (off < prev) {
+        // The per-packet binary search needs offset order; TraceWriter
+        // always emits it (records surface in stream order).
+        throw TraceError("records not sorted by stream offset");
+      }
+      prev = off;
+      last_end_ = std::max(last_end_, off + tls::kHeaderBytes + rec.ciphertext_len);
+    }
+    const std::uint64_t trailing = total_ - last_end_;
+    if (trailing >= tls::kHeaderBytes) {
+      if (trailing - tls::kHeaderBytes >= 0xffff) {
+        throw TraceError("unfinished trailing record too large to synthesize");
+      }
+      has_phantom_ = true;
+    }
+  }
+
+  /// Writes stream bytes [start, start+len) into `scratch` and returns a
+  /// view of them. The view is valid until the next call.
+  [[nodiscard]] util::BytesView materialize(std::uint64_t start, std::size_t len,
+                                            util::Bytes& scratch) const {
+    scratch.assign(len, 0);
+    const std::uint64_t end = start + len;
+    // First record whose 5-byte header could reach into [start, end).
+    auto it = std::lower_bound(
+        records_.begin(), records_.end(), start,
+        [](const analysis::RecordObservation& rec, std::uint64_t s) {
+          return rec.stream_offset + tls::kHeaderBytes <= s;
+        });
+    for (; it != records_.end() && it->stream_offset < end; ++it) {
+      plant_header(scratch, start, end, it->stream_offset,
+                   static_cast<std::uint8_t>(it->type),
+                   static_cast<std::uint16_t>(it->ciphertext_len));
+    }
+    if (has_phantom_ && last_end_ < end &&
+        last_end_ + tls::kHeaderBytes > start) {
+      plant_header(scratch, start, end, last_end_,
+                   static_cast<std::uint8_t>(tls::ContentType::kApplicationData),
+                   0xffff);
+    }
+    return {scratch.data(), scratch.size()};
+  }
+
+ private:
+  /// Copies the overlap of one 5-byte header at `hdr_off` into the scratch
+  /// range [start, end).
+  static void plant_header(util::Bytes& scratch, std::uint64_t start,
+                           std::uint64_t end, std::uint64_t hdr_off,
+                           std::uint8_t type, std::uint16_t body_len) {
+    const std::array<std::uint8_t, tls::kHeaderBytes> header = {
+        type,
+        static_cast<std::uint8_t>(tls::kVersionTls12 >> 8),
+        static_cast<std::uint8_t>(tls::kVersionTls12 & 0xff),
+        static_cast<std::uint8_t>(body_len >> 8),
+        static_cast<std::uint8_t>(body_len & 0xff)};
+    const std::uint64_t from = std::max(hdr_off, start);
+    const std::uint64_t to = std::min(hdr_off + tls::kHeaderBytes, end);
+    for (std::uint64_t at = from; at < to; ++at) {
+      scratch[static_cast<std::size_t>(at - start)] =
+          header[static_cast<std::size_t>(at - hdr_off)];
+    }
+  }
+
+  const std::vector<analysis::RecordObservation>& records_;
+  std::uint64_t total_ = 0;
+  std::uint64_t last_end_ = 0;
+  bool has_phantom_ = false;
+};
+
 [[nodiscard]] bool same_records(const std::vector<analysis::RecordObservation>& a,
                                 const std::vector<analysis::RecordObservation>& b) {
   if (a.size() != b.size()) return false;
@@ -106,6 +191,26 @@ namespace {
   return v;
 }
 
+[[nodiscard]] ReplayResult finish_replay(
+    const TraceMeta& meta, const analysis::GroundTruth& truth,
+    const core::TrafficMonitor& monitor,
+    const std::vector<analysis::RecordObservation>& stored_c2s,
+    const std::vector<analysis::RecordObservation>& stored_s2c,
+    const std::optional<TraceSummary>& stored_summary) {
+  ReplayResult result;
+  result.records_match =
+      same_records(monitor.records(net::Direction::kClientToServer), stored_c2s) &&
+      same_records(monitor.records(net::Direction::kServerToClient), stored_s2c);
+
+  const core::ObjectPredictor predictor(monitor, core::isidewith_catalog());
+  result.summary = score_with_predictor(meta, truth, predictor,
+                                        monitor.packets_seen(),
+                                        monitor.get_count());
+  result.summary_matches =
+      stored_summary.has_value() && *stored_summary == result.summary;
+  return result;
+}
+
 }  // namespace
 
 void replay_into(const TraceReader& trace, core::TrafficMonitor& monitor) {
@@ -125,27 +230,69 @@ void replay_into(const TraceReader& trace, core::TrafficMonitor& monitor) {
   }
 }
 
-ReplayResult replay(const TraceReader& trace) {
-  const TraceMeta& meta = trace.meta();
-  core::TrafficMonitor monitor;
-  replay_into(trace, monitor);
+void replay_into(const TraceFile& trace, core::TrafficMonitor& monitor) {
+  const std::array<std::vector<analysis::RecordObservation>, 2> records = {
+      trace.records(net::Direction::kClientToServer),
+      trace.records(net::Direction::kServerToClient)};
 
-  ReplayResult result;
-  result.records_match =
-      same_records(monitor.records(net::Direction::kClientToServer),
-                   trace.records(net::Direction::kClientToServer)) &&
-      same_records(monitor.records(net::Direction::kServerToClient),
-                   trace.records(net::Direction::kServerToClient));
+  // Pass 1: per-direction stream extents, O(1) memory.
+  std::array<std::uint64_t, 2> total{};
+  analysis::PacketObservation p;
+  for (PacketCursor cursor = trace.packets(); cursor.next(p);) {
+    if (p.payload_len == 0) continue;
+    if (p.seq == 0) throw TraceError("data packet with seq 0 (pre-SYN payload?)");
+    std::uint64_t& t = total[static_cast<std::size_t>(p.dir)];
+    t = std::max(t, p.seq - 1 + p.payload_len);
+  }
+  const std::array<ChunkSynthesizer, 2> synth = {
+      ChunkSynthesizer(records[0], total[0]),
+      ChunkSynthesizer(records[1], total[1])};
 
-  const analysis::GroundTruth& truth = trace.ground_truth();
+  // Pass 2: stream packets through the monitor, materializing each payload
+  // into one reusable scratch buffer.
+  util::Bytes scratch;
+  for (PacketCursor cursor = trace.packets(); cursor.next(p);) {
+    util::BytesView payload;
+    if (p.payload_len > 0) {
+      payload = synth[static_cast<std::size_t>(p.dir)].materialize(
+          p.seq - 1, p.payload_len, scratch);
+    }
+    monitor.observe(p, payload);
+  }
+}
+
+std::int64_t count_gets(std::span<const analysis::RecordObservation> c2s_records,
+                        const core::MonitorConfig& config) {
+  std::int64_t gets = 0;
+  int setup_skipped = 0;
+  for (const analysis::RecordObservation& rec : c2s_records) {
+    if (rec.type != tls::ContentType::kApplicationData) continue;
+    const std::size_t plaintext = rec.plaintext_estimate();
+    if (plaintext < config.min_get_record_bytes ||
+        plaintext > config.max_get_record_bytes) {
+      continue;
+    }
+    if (setup_skipped < config.setup_records_to_skip) {
+      ++setup_skipped;
+      continue;
+    }
+    ++gets;
+  }
+  return gets;
+}
+
+TraceSummary score_with_predictor(const TraceMeta& meta,
+                                  const analysis::GroundTruth& truth,
+                                  const core::ObjectPredictor& predictor,
+                                  std::uint64_t monitor_packets,
+                                  std::int64_t monitor_gets) {
   const web::IsideWithSite site =
       web::build_isidewith_site(meta.pad_sensitive_objects);
-  const core::ObjectPredictor predictor(monitor, core::isidewith_catalog());
   const util::TimePoint horizon{meta.attack_horizon_ns};
 
-  TraceSummary& sum = result.summary;
-  sum.monitor_packets = monitor.packets_seen();
-  sum.monitor_gets = monitor.get_count();
+  TraceSummary sum;
+  sum.monitor_packets = monitor_packets;
+  sum.monitor_gets = monitor_gets;
   sum.html = score_object(truth, predictor, site.results_html, core::html_label(),
                           site.site.object(site.results_html).size, horizon);
 
@@ -178,9 +325,40 @@ ReplayResult replay(const TraceReader& trace) {
     v.attack_success = v.any_serialized_copy && position_ok;
     sum.sequence_positions_correct += position_ok ? 1 : 0;
   }
+  return sum;
+}
 
-  result.summary_matches = trace.has_summary() && trace.summary() == result.summary;
-  return result;
+TraceSummary score_stored(const TraceFile& trace) {
+  const analysis::GroundTruth truth = trace.ground_truth();
+  const std::vector<analysis::RecordObservation> s2c =
+      trace.records(net::Direction::kServerToClient);
+  const std::vector<analysis::RecordObservation> c2s =
+      trace.records(net::Direction::kClientToServer);
+  const core::ObjectPredictor predictor(s2c, core::isidewith_catalog());
+  return score_with_predictor(trace.meta(), truth, predictor,
+                              trace.packet_count(), count_gets(c2s));
+}
+
+ReplayResult replay(const TraceReader& trace) {
+  core::TrafficMonitor monitor;
+  replay_into(trace, monitor);
+  std::optional<TraceSummary> stored;
+  if (trace.has_summary()) stored = trace.summary();
+  return finish_replay(trace.meta(), trace.ground_truth(), monitor,
+                       trace.records(net::Direction::kClientToServer),
+                       trace.records(net::Direction::kServerToClient), stored);
+}
+
+ReplayResult replay(const TraceFile& trace) {
+  core::MonitorConfig config;
+  config.retain_packets = false;  // chunked engine: O(1) packet memory
+  core::TrafficMonitor monitor(config);
+  replay_into(trace, monitor);
+  std::optional<TraceSummary> stored;
+  if (trace.has_section(Section::kSummary)) stored = trace.summary();
+  return finish_replay(trace.meta(), trace.ground_truth(), monitor,
+                       trace.records(net::Direction::kClientToServer),
+                       trace.records(net::Direction::kServerToClient), stored);
 }
 
 }  // namespace h2priv::capture

@@ -1,77 +1,23 @@
 #include "h2priv/capture/trace_reader.hpp"
 
-#include <algorithm>
-#include <bit>
-#include <fstream>
+#include <utility>
 
-#include "h2priv/capture/varint.hpp"
 #include "h2priv/obs/metrics.hpp"
 
 namespace h2priv::capture {
 
-namespace {
-
-[[nodiscard]] std::string get_string(util::ByteReader& r) {
-  const std::uint64_t n = get_varint(r);
-  const util::BytesView v = r.bytes(static_cast<std::size_t>(n));
-  return {reinterpret_cast<const char*>(v.data()), v.size()};
-}
-
-[[nodiscard]] ObjectVerdict get_verdict(util::ByteReader& r) {
-  ObjectVerdict v;
-  v.label = get_string(r);
-  v.true_size = get_varint(r);
-  v.primary_dom = std::bit_cast<double>(r.u64());
-  const std::uint8_t flags = r.u8();
-  v.has_dom = (flags & 0x01) != 0;
-  v.serialized_primary = (flags & 0x02) != 0;
-  v.any_serialized_copy = (flags & 0x04) != 0;
-  v.identified = (flags & 0x08) != 0;
-  v.attack_success = (flags & 0x10) != 0;
-  return v;
-}
-
-[[nodiscard]] std::vector<analysis::ByteInterval> get_intervals(util::ByteReader& r) {
-  const std::uint64_t n = get_varint(r);
-  std::vector<analysis::ByteInterval> spans;
-  spans.reserve(static_cast<std::size_t>(n));
-  std::uint64_t prev_end = 0;
-  for (std::uint64_t i = 0; i < n; ++i) {
-    analysis::ByteInterval iv;
-    iv.begin = prev_end + static_cast<std::uint64_t>(get_svarint(r));
-    iv.end = iv.begin + get_varint(r);
-    prev_end = iv.end;
-    spans.push_back(iv);
-  }
-  return spans;
-}
-
-}  // namespace
-
-std::uint64_t fnv1a(util::BytesView data) noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const std::uint8_t b : data) {
-    h ^= b;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
 TraceReader TraceReader::open(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) throw TraceError("cannot open trace: " + path);
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  util::Bytes data(static_cast<std::size_t>(size));
-  if (size > 0) in.read(reinterpret_cast<char*>(data.data()), size);
-  if (!in) throw TraceError("trace read failed: " + path);
-  TraceReader reader(std::move(data));
+  TraceReader reader(TraceFile::open(path));
   obs::count(obs::Counter::kCaptureTracesRead);
   obs::count(obs::Counter::kCaptureBytesRead, reader.file_size());
   return reader;
 }
 
-TraceReader::TraceReader(util::Bytes file_bytes) { parse(file_bytes); }
+TraceReader::TraceReader(util::Bytes file_bytes) {
+  load(TraceFile(std::move(file_bytes)));
+}
+
+TraceReader::TraceReader(const TraceFile& file) { load(file); }
 
 const analysis::GroundTruth& TraceReader::ground_truth() const {
   if (!truth_) throw TraceError("trace has no ground-truth section");
@@ -83,178 +29,19 @@ const TraceSummary& TraceReader::summary() const {
   return *summary_;
 }
 
-util::BytesView TraceReader::section_view(const util::Bytes& data,
-                                          const SectionInfo& s) const {
-  if (s.offset > data.size() || data.size() - s.offset < s.length) {
-    throw TraceError("section extends past end of file");
-  }
-  return {data.data() + s.offset, static_cast<std::size_t>(s.length)};
-}
-
-void TraceReader::parse(const util::Bytes& data) {
-  file_size_ = data.size();
-  digest_ = fnv1a(data);
-
-  const std::size_t min_size =
-      kHeaderBytes + kTrailerTailBytes;  // header + empty trailer
-  if (data.size() < min_size) throw TraceError("truncated trace (too small)");
-  if (!std::equal(kMagic.begin(), kMagic.end(), data.begin())) {
-    throw TraceError("bad magic: not an .h2t trace");
-  }
-  util::ByteReader header(util::BytesView{data.data(), kHeaderBytes});
-  header.skip(kMagic.size());
-  const std::uint16_t version = header.u16();
-  if (version != kFormatVersion) {
-    throw TraceError("unsupported trace version " + std::to_string(version) +
-                     " (expected " + std::to_string(kFormatVersion) + ")");
-  }
-  if (!std::equal(kEndMagic.begin(), kEndMagic.end(),
-                  data.end() - static_cast<std::ptrdiff_t>(kEndMagic.size()))) {
-    throw TraceError("bad end magic: trace is truncated or corrupt");
-  }
-
-  // Locate the section table from the fixed-size trailer tail.
-  util::ByteReader tail(
-      util::BytesView{data.data() + data.size() - kTrailerTailBytes,
-                      kTrailerTailBytes});
-  const std::uint32_t n_sections = tail.u32();
-  const std::uint64_t table_offset = tail.u64();
-  const std::uint64_t table_bytes =
-      static_cast<std::uint64_t>(n_sections) * kSectionEntryBytes;
-  if (table_offset < kHeaderBytes || table_offset > data.size() ||
-      data.size() - table_offset < table_bytes + kTrailerTailBytes) {
-    throw TraceError("trailer table out of range");
-  }
-  util::ByteReader table(util::BytesView{data.data() + table_offset,
-                                         static_cast<std::size_t>(table_bytes)});
-  sections_.reserve(n_sections);
-  for (std::uint32_t i = 0; i < n_sections; ++i) {
-    SectionInfo s;
-    s.id = static_cast<Section>(table.u32());
-    s.offset = table.u64();
-    s.length = table.u64();
-    s.count = table.u64();
-    sections_.push_back(s);
-  }
-
-  try {
-    for (const SectionInfo& s : sections_) {
-      util::ByteReader r(section_view(data, s));
-      switch (s.id) {
-        case Section::kMeta: {
-          meta_.seed = get_varint(r);
-          meta_.scenario = get_string(r);
-          meta_.site = get_string(r);
-          const std::uint8_t flags = r.u8();
-          meta_.attack_enabled = (flags & 0x01) != 0;
-          meta_.pad_sensitive_objects = (flags & 0x02) != 0;
-          meta_.push_emblems = (flags & 0x04) != 0;
-          if ((flags & 0x08) != 0) meta_.manual_spacing_ns = get_svarint(r);
-          if ((flags & 0x10) != 0) meta_.manual_bandwidth_bps = get_svarint(r);
-          meta_.deadline_ns = get_svarint(r);
-          meta_.attack_horizon_ns = get_svarint(r);
-          for (int& party : meta_.party_order) {
-            party = static_cast<int>(get_svarint(r));
-          }
-          break;
-        }
-        case Section::kPackets: {
-          packets_.reserve(static_cast<std::size_t>(s.count));
-          std::int64_t prev_time_ns = 0;
-          struct DirState {
-            std::uint64_t seq = 0, ack = 0, len = 0;
-            std::int64_t wire = 0;
-          };
-          std::array<DirState, 2> st{};
-          for (std::uint64_t i = 0; i < s.count; ++i) {
-            analysis::PacketObservation p;
-            const std::uint8_t tag = r.u8();
-            p.dir = static_cast<net::Direction>(tag >> 7);
-            p.flags = static_cast<std::uint8_t>(tag & 0x7f);
-            DirState& d = st[static_cast<std::size_t>(p.dir)];
-            p.time.ns = prev_time_ns + get_svarint(r);
-            p.wire_size = d.wire + get_svarint(r);
-            p.seq = d.seq + static_cast<std::uint64_t>(get_svarint(r));
-            p.ack = d.ack + static_cast<std::uint64_t>(get_svarint(r));
-            p.payload_len = static_cast<std::size_t>(
-                d.len + static_cast<std::uint64_t>(get_svarint(r)));
-            prev_time_ns = p.time.ns;
-            d.wire = p.wire_size;
-            d.seq = p.seq;
-            d.ack = p.ack;
-            d.len = p.payload_len;
-            packets_.push_back(p);
-          }
-          break;
-        }
-        case Section::kRecordsC2S:
-        case Section::kRecordsS2C: {
-          const bool c2s = s.id == Section::kRecordsC2S;
-          std::vector<analysis::RecordObservation>& out =
-              c2s ? records_c2s_ : records_s2c_;
-          out.reserve(static_cast<std::size_t>(s.count));
-          std::int64_t prev_time_ns = 0;
-          std::uint64_t prev_len = 0, prev_off = 0;
-          for (std::uint64_t i = 0; i < s.count; ++i) {
-            analysis::RecordObservation rec;
-            rec.dir = c2s ? net::Direction::kClientToServer
-                          : net::Direction::kServerToClient;
-            rec.type = static_cast<tls::ContentType>(r.u8());
-            rec.time.ns = prev_time_ns + get_svarint(r);
-            rec.ciphertext_len = static_cast<std::size_t>(
-                prev_len + static_cast<std::uint64_t>(get_svarint(r)));
-            rec.stream_offset = prev_off + static_cast<std::uint64_t>(get_svarint(r));
-            prev_time_ns = rec.time.ns;
-            prev_len = rec.ciphertext_len;
-            prev_off = rec.stream_offset;
-            out.push_back(rec);
-          }
-          break;
-        }
-        case Section::kGroundTruth: {
-          analysis::GroundTruth truth;
-          const std::uint64_t n = get_varint(r);
-          for (std::uint64_t i = 0; i < n; ++i) {
-            const auto object_id = static_cast<web::ObjectId>(get_varint(r));
-            const auto stream_id = static_cast<std::uint32_t>(get_varint(r));
-            const std::uint8_t flags = r.u8();
-            const analysis::InstanceId id =
-                truth.register_instance(object_id, stream_id, (flags & 0x01) != 0);
-            for (const analysis::ByteInterval& iv : get_intervals(r)) {
-              truth.record_data(id, h2::WireSpan{iv.begin, iv.end});
-            }
-            for (const analysis::ByteInterval& iv : get_intervals(r)) {
-              truth.record_headers(id, h2::WireSpan{iv.begin, iv.end});
-            }
-            if ((flags & 0x02) != 0) truth.mark_complete(id);
-          }
-          truth_ = std::move(truth);
-          break;
-        }
-        case Section::kSummary: {
-          TraceSummary sum;
-          sum.monitor_packets = get_varint(r);
-          sum.monitor_gets = get_svarint(r);
-          sum.html = get_verdict(r);
-          for (ObjectVerdict& v : sum.emblems_by_position) v = get_verdict(r);
-          const std::uint64_t n = get_varint(r);
-          sum.predicted_sequence.reserve(static_cast<std::size_t>(n));
-          for (std::uint64_t i = 0; i < n; ++i) {
-            sum.predicted_sequence.push_back(get_string(r));
-          }
-          sum.sequence_positions_correct = get_svarint(r);
-          summary_ = std::move(sum);
-          break;
-        }
-        default:
-          break;  // unknown section id: skip (additive format evolution)
-      }
-    }
-  } catch (const util::OutOfBounds& e) {
-    throw TraceError(std::string("truncated section: ") + e.what());
-  } catch (const std::invalid_argument& e) {
-    throw TraceError(std::string("malformed section: ") + e.what());
-  }
+void TraceReader::load(const TraceFile& file) {
+  file_size_ = file.file_size();
+  digest_ = file.digest();
+  sections_ = file.sections();
+  meta_ = file.meta();
+  packets_.reserve(static_cast<std::size_t>(file.packet_count()));
+  PacketCursor cursor = file.packets();
+  analysis::PacketObservation p;
+  while (cursor.next(p)) packets_.push_back(p);
+  records_c2s_ = file.records(net::Direction::kClientToServer);
+  records_s2c_ = file.records(net::Direction::kServerToClient);
+  if (file.has_section(Section::kGroundTruth)) truth_ = file.ground_truth();
+  if (file.has_section(Section::kSummary)) summary_ = file.summary();
 }
 
 }  // namespace h2priv::capture

@@ -1,0 +1,395 @@
+#include "h2priv/capture/trace_view.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+
+#include "h2priv/capture/varint.hpp"
+#include "h2priv/obs/metrics.hpp"
+
+namespace h2priv::capture {
+
+namespace {
+
+/// Runs a decoder body, converting the bounds/format exceptions the byte
+/// primitives throw into the TraceError every reader path promises.
+template <typename Fn>
+auto decode_guard(Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const util::OutOfBounds& e) {
+    throw TraceError(std::string("truncated section: ") + e.what());
+  } catch (const std::invalid_argument& e) {
+    throw TraceError(std::string("malformed section: ") + e.what());
+  }
+}
+
+[[nodiscard]] std::string get_string(util::ByteReader& r) {
+  const std::uint64_t n = get_varint(r);
+  const util::BytesView v = r.bytes(static_cast<std::size_t>(n));
+  return {reinterpret_cast<const char*>(v.data()), v.size()};
+}
+
+[[nodiscard]] ObjectVerdict get_verdict(util::ByteReader& r) {
+  ObjectVerdict v;
+  v.label = get_string(r);
+  v.true_size = get_varint(r);
+  v.primary_dom = std::bit_cast<double>(r.u64());
+  const std::uint8_t flags = r.u8();
+  v.has_dom = (flags & 0x01) != 0;
+  v.serialized_primary = (flags & 0x02) != 0;
+  v.any_serialized_copy = (flags & 0x04) != 0;
+  v.identified = (flags & 0x08) != 0;
+  v.attack_success = (flags & 0x10) != 0;
+  return v;
+}
+
+[[nodiscard]] std::vector<analysis::ByteInterval> get_intervals(util::ByteReader& r) {
+  const std::uint64_t n = get_varint(r);
+  // Each interval costs at least 2 bytes (one svarint + one varint), so a
+  // count the payload cannot hold is corruption — refuse before reserving.
+  if (n > r.remaining() / 2) {
+    throw std::invalid_argument("interval count exceeds payload");
+  }
+  std::vector<analysis::ByteInterval> spans;
+  spans.reserve(static_cast<std::size_t>(n));
+  std::uint64_t prev_end = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    analysis::ByteInterval iv;
+    iv.begin = prev_end + static_cast<std::uint64_t>(get_svarint(r));
+    iv.end = iv.begin + get_varint(r);
+    prev_end = iv.end;
+    spans.push_back(iv);
+  }
+  return spans;
+}
+
+/// Two's-complement addition without signed-overflow UB. Hostile delta
+/// streams can drive the running sums past the int64 range; for a valid
+/// trace the result is identical to plain `a + b`.
+[[nodiscard]] constexpr std::int64_t wrapping_add(std::int64_t a,
+                                                  std::int64_t b) noexcept {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+
+/// Minimum encoded footprint of one entry, used to reject section counts the
+/// byte length cannot possibly hold (a fuzzed count would otherwise drive a
+/// multi-gigabyte reserve()).
+[[nodiscard]] constexpr std::uint64_t min_entry_bytes(Section id) noexcept {
+  switch (id) {
+    case Section::kPackets:
+      return 6;  // tag byte + five delta varints
+    case Section::kRecordsC2S:
+    case Section::kRecordsS2C:
+      return 4;  // type byte + three delta varints
+    default:
+      return 0;  // count is informational for the buffered sections
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a_update(std::uint64_t h, util::BytesView data) noexcept {
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(util::BytesView data) noexcept {
+  return fnv1a_update(kFnv1aInit, data);
+}
+
+std::uint64_t digest_view(util::BytesView data) noexcept {
+  std::uint64_t h = kFnv1aInit;
+  for (std::size_t off = 0; off < data.size(); off += util::kFileChunkBytes) {
+    const std::size_t n = std::min(util::kFileChunkBytes, data.size() - off);
+    h = fnv1a_update(h, data.subspan(off, n));
+  }
+  return h;
+}
+
+std::vector<SectionInfo> validate_and_index(util::BytesView image) {
+  const std::size_t min_size = kHeaderBytes + kTrailerTailBytes;
+  if (image.size() < min_size) throw TraceError("truncated trace (too small)");
+  if (!std::equal(kMagic.begin(), kMagic.end(), image.begin())) {
+    throw TraceError("bad magic: not an .h2t trace");
+  }
+  util::ByteReader header(image.first(kHeaderBytes));
+  header.skip(kMagic.size());
+  const std::uint16_t version = header.u16();
+  if (version != kFormatVersion) {
+    throw TraceError("unsupported trace version " + std::to_string(version) +
+                     " (expected " + std::to_string(kFormatVersion) + ")");
+  }
+  if (!std::equal(kEndMagic.begin(), kEndMagic.end(),
+                  image.end() - static_cast<std::ptrdiff_t>(kEndMagic.size()))) {
+    throw TraceError("bad end magic: trace is truncated or corrupt");
+  }
+
+  // Locate the section table from the fixed-size trailer tail.
+  util::ByteReader tail(image.last(kTrailerTailBytes));
+  const std::uint32_t n_sections = tail.u32();
+  const std::uint64_t table_offset = tail.u64();
+  const std::uint64_t table_bytes =
+      static_cast<std::uint64_t>(n_sections) * kSectionEntryBytes;
+  if (table_offset < kHeaderBytes || table_offset > image.size() ||
+      image.size() - table_offset < table_bytes + kTrailerTailBytes) {
+    throw TraceError("trailer table out of range");
+  }
+  util::ByteReader table(
+      image.subspan(static_cast<std::size_t>(table_offset),
+                    static_cast<std::size_t>(table_bytes)));
+  std::vector<SectionInfo> sections;
+  sections.reserve(n_sections);
+  for (std::uint32_t i = 0; i < n_sections; ++i) {
+    SectionInfo s;
+    s.id = static_cast<Section>(table.u32());
+    s.offset = table.u64();
+    s.length = table.u64();
+    s.count = table.u64();
+    // Every payload lives between the header and the trailer table.
+    if (s.offset < kHeaderBytes || s.offset > table_offset ||
+        table_offset - s.offset < s.length) {
+      throw TraceError("section out of range");
+    }
+    const std::uint64_t min_entry = min_entry_bytes(s.id);
+    if (min_entry != 0 && s.length / min_entry < s.count) {
+      throw TraceError("section count inconsistent with length");
+    }
+    sections.push_back(s);
+  }
+
+  // Payloads must not overlap one another: sort by offset and require each
+  // (non-empty) section to start at or after its predecessor's end.
+  std::vector<std::size_t> order(sections.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sections[a].offset < sections[b].offset;
+  });
+  std::uint64_t prev_end = kHeaderBytes;
+  for (const std::size_t i : order) {
+    const SectionInfo& s = sections[i];
+    if (s.length == 0) continue;
+    if (s.offset < prev_end) throw TraceError("overlapping sections");
+    prev_end = s.offset + s.length;
+  }
+  return sections;
+}
+
+const SectionInfo* find_section(const std::vector<SectionInfo>& sections,
+                                Section id) noexcept {
+  for (const SectionInfo& s : sections) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+util::BytesView section_view(util::BytesView image, const SectionInfo& s) {
+  if (s.offset > image.size() || image.size() - s.offset < s.length) {
+    throw TraceError("section extends past end of file");
+  }
+  return image.subspan(static_cast<std::size_t>(s.offset),
+                       static_cast<std::size_t>(s.length));
+}
+
+TraceMeta decode_meta(util::BytesView payload) {
+  return decode_guard([&] {
+    util::ByteReader r(payload);
+    TraceMeta meta;
+    meta.seed = get_varint(r);
+    meta.scenario = get_string(r);
+    meta.site = get_string(r);
+    const std::uint8_t flags = r.u8();
+    meta.attack_enabled = (flags & 0x01) != 0;
+    meta.pad_sensitive_objects = (flags & 0x02) != 0;
+    meta.push_emblems = (flags & 0x04) != 0;
+    if ((flags & 0x08) != 0) meta.manual_spacing_ns = get_svarint(r);
+    if ((flags & 0x10) != 0) meta.manual_bandwidth_bps = get_svarint(r);
+    meta.deadline_ns = get_svarint(r);
+    meta.attack_horizon_ns = get_svarint(r);
+    for (int& party : meta.party_order) {
+      party = static_cast<int>(get_svarint(r));
+    }
+    return meta;
+  });
+}
+
+std::vector<analysis::RecordObservation> decode_records(util::BytesView payload,
+                                                        std::uint64_t count,
+                                                        net::Direction dir) {
+  if (payload.size() / 4 < count) {  // >= 4 bytes per encoded record
+    throw TraceError("record count exceeds payload");
+  }
+  return decode_guard([&] {
+    util::ByteReader r(payload);
+    std::vector<analysis::RecordObservation> out;
+    out.reserve(static_cast<std::size_t>(count));
+    std::int64_t prev_time_ns = 0;
+    std::uint64_t prev_len = 0, prev_off = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      analysis::RecordObservation rec;
+      rec.dir = dir;
+      rec.type = static_cast<tls::ContentType>(r.u8());
+      rec.time.ns = wrapping_add(prev_time_ns, get_svarint(r));
+      rec.ciphertext_len = static_cast<std::size_t>(
+          prev_len + static_cast<std::uint64_t>(get_svarint(r)));
+      rec.stream_offset = prev_off + static_cast<std::uint64_t>(get_svarint(r));
+      prev_time_ns = rec.time.ns;
+      prev_len = rec.ciphertext_len;
+      prev_off = rec.stream_offset;
+      out.push_back(rec);
+    }
+    return out;
+  });
+}
+
+analysis::GroundTruth decode_ground_truth(util::BytesView payload) {
+  return decode_guard([&] {
+    util::ByteReader r(payload);
+    analysis::GroundTruth truth;
+    const std::uint64_t n = get_varint(r);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto object_id = static_cast<web::ObjectId>(get_varint(r));
+      const auto stream_id = static_cast<std::uint32_t>(get_varint(r));
+      const std::uint8_t flags = r.u8();
+      const analysis::InstanceId id =
+          truth.register_instance(object_id, stream_id, (flags & 0x01) != 0);
+      for (const analysis::ByteInterval& iv : get_intervals(r)) {
+        truth.record_data(id, h2::WireSpan{iv.begin, iv.end});
+      }
+      for (const analysis::ByteInterval& iv : get_intervals(r)) {
+        truth.record_headers(id, h2::WireSpan{iv.begin, iv.end});
+      }
+      if ((flags & 0x02) != 0) truth.mark_complete(id);
+    }
+    return truth;
+  });
+}
+
+TraceSummary decode_summary(util::BytesView payload) {
+  return decode_guard([&] {
+    util::ByteReader r(payload);
+    TraceSummary sum;
+    sum.monitor_packets = get_varint(r);
+    sum.monitor_gets = get_svarint(r);
+    sum.html = get_verdict(r);
+    for (ObjectVerdict& v : sum.emblems_by_position) v = get_verdict(r);
+    const std::uint64_t n = get_varint(r);
+    if (n > r.remaining()) {  // >= 1 byte per encoded string
+      throw std::invalid_argument("sequence count exceeds payload");
+    }
+    sum.predicted_sequence.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sum.predicted_sequence.push_back(get_string(r));
+    }
+    sum.sequence_positions_correct = get_svarint(r);
+    return sum;
+  });
+}
+
+PacketCursor::PacketCursor(util::BytesView payload, std::uint64_t count)
+    : reader_(payload), left_(count) {
+  if (payload.size() / 6 < count) {  // >= 6 bytes per encoded packet
+    throw TraceError("packet count exceeds payload");
+  }
+}
+
+bool PacketCursor::next(analysis::PacketObservation& out) {
+  if (left_ == 0) return false;
+  return decode_guard([&] {
+    const std::uint8_t tag = reader_.u8();
+    out.dir = static_cast<net::Direction>(tag >> 7);
+    out.flags = static_cast<std::uint8_t>(tag & 0x7f);
+    DirState& d = dirs_[static_cast<std::size_t>(out.dir)];
+    out.time.ns = wrapping_add(prev_time_ns_, get_svarint(reader_));
+    out.wire_size = wrapping_add(d.wire, get_svarint(reader_));
+    out.seq = d.seq + static_cast<std::uint64_t>(get_svarint(reader_));
+    out.ack = d.ack + static_cast<std::uint64_t>(get_svarint(reader_));
+    out.payload_len = static_cast<std::size_t>(
+        d.len + static_cast<std::uint64_t>(get_svarint(reader_)));
+    prev_time_ns_ = out.time.ns;
+    d.wire = out.wire_size;
+    d.seq = out.seq;
+    d.ack = out.ack;
+    d.len = out.payload_len;
+    --left_;
+    return true;
+  });
+}
+
+TraceFile TraceFile::open(const std::string& path) {
+  TraceFile f;
+  try {
+    f.mapped_ = util::MappedFile::open(path);
+  } catch (const std::runtime_error& e) {
+    throw TraceError(std::string("cannot open trace: ") + e.what());
+  }
+  f.image_ = f.mapped_.view();
+  f.index();
+  obs::count(obs::Counter::kCorpusBytesMapped, f.image_.size());
+  return f;
+}
+
+TraceFile::TraceFile(util::Bytes image) : owned_(std::move(image)) {
+  image_ = util::BytesView{owned_.data(), owned_.size()};
+  index();
+}
+
+void TraceFile::index() {
+  sections_ = validate_and_index(image_);
+  if (const SectionInfo* s = section(Section::kMeta)) {
+    meta_ = decode_meta(section_view(image_, *s));
+  }
+}
+
+util::BytesView TraceFile::section_bytes(Section id) const {
+  const SectionInfo* s = section(id);
+  if (s == nullptr) {
+    throw TraceError("trace has no section " +
+                     std::to_string(static_cast<std::uint32_t>(id)));
+  }
+  return section_view(image_, *s);
+}
+
+std::uint64_t TraceFile::packet_count() const noexcept {
+  const SectionInfo* s = section(Section::kPackets);
+  return s != nullptr ? s->count : 0;
+}
+
+PacketCursor TraceFile::packets() const {
+  const SectionInfo* s = section(Section::kPackets);
+  if (s == nullptr) return {util::BytesView{}, 0};
+  return {section_view(image_, *s), s->count};
+}
+
+std::vector<analysis::RecordObservation> TraceFile::records(
+    net::Direction dir) const {
+  const Section id = dir == net::Direction::kClientToServer ? Section::kRecordsC2S
+                                                            : Section::kRecordsS2C;
+  const SectionInfo* s = section(id);
+  if (s == nullptr) return {};
+  return decode_records(section_view(image_, *s), s->count, dir);
+}
+
+analysis::GroundTruth TraceFile::ground_truth() const {
+  const SectionInfo* s = section(Section::kGroundTruth);
+  if (s == nullptr) throw TraceError("trace has no ground-truth section");
+  return decode_ground_truth(section_view(image_, *s));
+}
+
+TraceSummary TraceFile::summary() const {
+  const SectionInfo* s = section(Section::kSummary);
+  if (s == nullptr) throw TraceError("trace has no summary section");
+  return decode_summary(section_view(image_, *s));
+}
+
+std::uint64_t TraceFile::digest() const {
+  if (!digest_) digest_ = digest_view(image_);
+  return *digest_;
+}
+
+}  // namespace h2priv::capture

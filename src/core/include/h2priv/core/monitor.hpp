@@ -33,6 +33,11 @@ struct MonitorConfig {
   /// per packet (e.g. HPACK-compressed re-GETs) never trip this.
   std::size_t reset_record_max_bytes = 20;
   int reset_records_per_packet_threshold = 8;
+
+  /// Keep a copy of every PacketObservation (packets() accessor). Chunked
+  /// replay turns this off so monitoring a corpus-scale trace costs O(1)
+  /// memory in packets; packets_seen() stays exact either way.
+  bool retain_packets = true;
 };
 
 class TrafficMonitor {
@@ -65,10 +70,11 @@ class TrafficMonitor {
       net::Direction dir) const noexcept {
     return streams_[static_cast<std::size_t>(dir)].records();
   }
+  /// Retained observations (empty when config.retain_packets is off).
   [[nodiscard]] const std::vector<analysis::PacketObservation>& packets() const noexcept {
     return packets_;
   }
-  [[nodiscard]] std::uint64_t packets_seen() const noexcept { return packets_.size(); }
+  [[nodiscard]] std::uint64_t packets_seen() const noexcept { return packets_seen_; }
 
  private:
   void on_packet(net::Direction dir, const net::Packet& packet, util::TimePoint now);
@@ -79,6 +85,7 @@ class TrafficMonitor {
       analysis::MonitorStream(net::Direction::kClientToServer),
       analysis::MonitorStream(net::Direction::kServerToClient)};
   std::vector<analysis::PacketObservation> packets_;
+  std::uint64_t packets_seen_ = 0;
   int tiny_records_this_packet_ = 0;
   bool reset_reported_this_packet_ = false;
   int get_count_ = 0;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,14 @@ struct Identification {
 class ObjectPredictor {
  public:
   ObjectPredictor(const TrafficMonitor& monitor, analysis::SizeCatalog catalog,
+                  analysis::BurstConfig burst_config = {});
+
+  /// Monitor-free construction over an already-extracted server->client
+  /// record sequence — the corpus scoring pipeline's path, which reads
+  /// records straight out of a stored .h2t section and never rebuilds a
+  /// TrafficMonitor. `s2c_records` must outlive the predictor.
+  ObjectPredictor(std::span<const analysis::RecordObservation> s2c_records,
+                  analysis::SizeCatalog catalog,
                   analysis::BurstConfig burst_config = {});
 
   /// All catalog matches among bursts starting at/after `from`, in order.
@@ -51,7 +60,13 @@ class ObjectPredictor {
   double frac_tolerance = 0.012;
 
  private:
-  const TrafficMonitor& monitor_;
+  /// The server->client records under analysis: resolved per call when
+  /// monitor-backed (the monitor's vector may still reallocate), or the
+  /// caller's fixed span otherwise.
+  [[nodiscard]] std::span<const analysis::RecordObservation> s2c_records() const;
+
+  const TrafficMonitor* monitor_ = nullptr;
+  std::span<const analysis::RecordObservation> records_;
   analysis::SizeCatalog catalog_;
   analysis::BurstConfig burst_config_;
 };

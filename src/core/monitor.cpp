@@ -31,7 +31,8 @@ void TrafficMonitor::on_packet(net::Direction dir, const net::Packet& packet,
 
 void TrafficMonitor::observe(const analysis::PacketObservation& obs,
                              util::BytesView payload) {
-  packets_.push_back(obs);
+  ++packets_seen_;
+  if (config_.retain_packets) packets_.push_back(obs);
   if (on_packet_observed) on_packet_observed(obs);
   tiny_records_this_packet_ = 0;
   reset_reported_this_packet_ = false;

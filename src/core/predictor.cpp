@@ -7,13 +7,24 @@ namespace h2priv::core {
 ObjectPredictor::ObjectPredictor(const TrafficMonitor& monitor,
                                  analysis::SizeCatalog catalog,
                                  analysis::BurstConfig burst_config)
-    : monitor_(monitor), catalog_(std::move(catalog)), burst_config_(burst_config) {}
+    : monitor_(&monitor), catalog_(std::move(catalog)), burst_config_(burst_config) {}
+
+ObjectPredictor::ObjectPredictor(
+    std::span<const analysis::RecordObservation> s2c_records,
+    analysis::SizeCatalog catalog, analysis::BurstConfig burst_config)
+    : records_(s2c_records),
+      catalog_(std::move(catalog)),
+      burst_config_(burst_config) {}
+
+std::span<const analysis::RecordObservation> ObjectPredictor::s2c_records() const {
+  return monitor_ != nullptr ? monitor_->records(net::Direction::kServerToClient)
+                             : records_;
+}
 
 std::vector<analysis::EstimatedObject> ObjectPredictor::bursts_after(
     util::TimePoint from) const {
-  const auto& records = monitor_.records(net::Direction::kServerToClient);
   std::vector<analysis::EstimatedObject> all =
-      analysis::segment_bursts(records, burst_config_);
+      analysis::segment_bursts(s2c_records(), burst_config_);
   std::vector<analysis::EstimatedObject> out;
   for (const auto& b : all) {
     if (b.first_record >= from) out.push_back(b);

@@ -1,0 +1,78 @@
+// Sharded corpus store: 10^5-trace corpora split across per-scenario shard
+// subdirectories so no single directory (or manifest) grows unboundedly and
+// shards can be generated, rsynced or deleted independently.
+//
+// Layout under one corpus root:
+//
+//   <root>/shard_000/run_<seed>.h2t     traces, shard_capacity per shard
+//   <root>/shard_000/manifest.txt       per-shard manifest (flat file names)
+//   <root>/shard_001/...
+//   <root>/manifest.txt                 merged manifest, shard-relative paths
+//
+// The merged manifest is the corpus's regression surface, exactly like the
+// flat corpus one: entries sorted by seed, every field a pure function of
+// trace bytes and run parameters — so two generations of the same build are
+// byte-identical at any --jobs count and `cmp` stays a sufficient CI check.
+// A flat corpus (core::run_many's layout) is just the degenerate single-shard
+// case; load_corpus() reads both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "h2priv/capture/corpus.hpp"
+#include "h2priv/core/experiment.hpp"
+#include "h2priv/core/parallel_runner.hpp"
+
+namespace h2priv::corpus {
+
+/// Canonical shard subdirectory name ("shard_000", "shard_001", ...). Three
+/// digits keep lexicographic and numeric order aligned through 10^5+ traces
+/// at the default capacity; larger indices widen naturally.
+[[nodiscard]] std::string shard_name(int index);
+
+struct ShardOptions {
+  /// Traces per shard subdirectory.
+  int shard_capacity = 1'000;
+};
+
+/// Generates `n` seeded runs {config.seed .. config.seed+n-1} as a sharded
+/// corpus under `config.capture.corpus_dir`: each shard is produced by
+/// core::run_many (which writes the shard's traces and its own manifest),
+/// then the shard manifests are folded into `<root>/manifest.txt` with
+/// shard-relative file paths. Returns the merged manifest. Bit-identical
+/// output for any `parallelism` — the per-shard manifests are sorted by
+/// seed and the fold is a pure function of them.
+capture::Manifest generate_sharded(const core::RunConfig& config, int n,
+                                   const ShardOptions& options,
+                                   core::Parallelism parallelism);
+
+/// Folds shard manifests into one: `prefixes[i]` (e.g. "shard_000") is
+/// prepended to every file path of `shards[i]`, entries are sorted by seed,
+/// and exact duplicates (same seed, packets and digest) collapse to the
+/// lexicographically smallest path. Two entries for one seed with different
+/// digests or packet counts are corruption, not redundancy — TraceError.
+/// The merged scenario is taken from the shards, which must agree;
+/// base_seed is the smallest shard base_seed.
+[[nodiscard]] capture::Manifest fold_manifests(
+    const std::vector<capture::Manifest>& shards,
+    const std::vector<std::string>& prefixes);
+
+/// A corpus located on disk: its root directory plus the parsed manifest
+/// (merged manifest for sharded corpora, the flat manifest otherwise —
+/// entry file paths are root-relative in both layouts).
+struct Corpus {
+  std::string dir;
+  capture::Manifest manifest;
+};
+
+/// Opens the corpus rooted at `dir` by parsing `<dir>/manifest.txt`.
+/// Throws capture::TraceError if absent or malformed.
+[[nodiscard]] Corpus load_corpus(const std::string& dir);
+
+/// Absolute-ish path of one manifest entry's trace file.
+[[nodiscard]] std::string trace_path(const Corpus& corpus,
+                                     const capture::ManifestEntry& entry);
+
+}  // namespace h2priv::corpus

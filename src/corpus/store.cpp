@@ -1,0 +1,103 @@
+#include "h2priv/corpus/store.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "h2priv/capture/trace_format.hpp"
+#include "h2priv/obs/metrics.hpp"
+
+namespace h2priv::corpus {
+
+std::string shard_name(int index) {
+  std::string digits = std::to_string(index);
+  while (digits.size() < 3) digits.insert(digits.begin(), '0');
+  return "shard_" + digits;
+}
+
+capture::Manifest generate_sharded(const core::RunConfig& config, int n,
+                                   const ShardOptions& options,
+                                   core::Parallelism parallelism) {
+  if (config.capture.corpus_dir.empty()) {
+    throw capture::TraceError("generate_sharded requires capture.corpus_dir");
+  }
+  if (options.shard_capacity < 1) {
+    throw capture::TraceError("shard_capacity must be >= 1");
+  }
+  const std::string root = config.capture.corpus_dir;
+  std::vector<capture::Manifest> shards;
+  std::vector<std::string> prefixes;
+  for (int shard = 0, done = 0; done < n; ++shard) {
+    const int count = std::min(options.shard_capacity, n - done);
+    core::RunConfig cfg = config;
+    cfg.seed = config.seed + static_cast<std::uint64_t>(done);
+    cfg.capture.corpus_dir = root + "/" + shard_name(shard);
+    // run_many writes the shard's traces and its manifest.txt, parallel
+    // across seeds within the shard.
+    (void)core::run_many(cfg, count, parallelism);
+    shards.push_back(capture::read_manifest(cfg.capture.corpus_dir + "/manifest.txt"));
+    prefixes.push_back(shard_name(shard));
+    obs::count(obs::Counter::kCorpusShardsWritten);
+    done += count;
+  }
+  capture::Manifest merged = fold_manifests(shards, prefixes);
+  // Authoritative even for an empty corpus (no shards to take them from).
+  merged.scenario = config.capture.scenario;
+  merged.base_seed = config.seed;
+  capture::write_manifest(merged, root + "/manifest.txt");
+  return merged;
+}
+
+capture::Manifest fold_manifests(const std::vector<capture::Manifest>& shards,
+                                 const std::vector<std::string>& prefixes) {
+  if (shards.size() != prefixes.size()) {
+    throw capture::TraceError("fold_manifests: one prefix per shard required");
+  }
+  capture::Manifest merged;
+  bool first = true;
+  // seed -> canonical entry; std::map keeps the fold ordered and deterministic.
+  std::map<std::uint64_t, capture::ManifestEntry> by_seed;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const capture::Manifest& shard = shards[s];
+    if (first) {
+      merged.scenario = shard.scenario;
+      merged.base_seed = shard.base_seed;
+      first = false;
+    } else {
+      if (shard.scenario != merged.scenario) {
+        throw capture::TraceError("fold_manifests: scenario mismatch (\"" +
+                                  merged.scenario + "\" vs \"" + shard.scenario +
+                                  "\")");
+      }
+      merged.base_seed = std::min(merged.base_seed, shard.base_seed);
+    }
+    for (capture::ManifestEntry entry : shard.entries) {
+      if (!prefixes[s].empty()) entry.file = prefixes[s] + "/" + entry.file;
+      const auto [it, inserted] = by_seed.emplace(entry.seed, entry);
+      if (inserted) continue;
+      capture::ManifestEntry& kept = it->second;
+      if (kept.digest != entry.digest || kept.packets != entry.packets) {
+        throw capture::TraceError(
+            "fold_manifests: conflicting entries for seed " +
+            std::to_string(entry.seed) + " (" + kept.file + " vs " + entry.file +
+            ")");
+      }
+      // Exact duplicate (a re-generated shard, say): keep the smallest path
+      // so the fold is independent of shard order.
+      if (entry.file < kept.file) kept.file = entry.file;
+    }
+  }
+  merged.entries.reserve(by_seed.size());
+  for (const auto& [seed, entry] : by_seed) merged.entries.push_back(entry);
+  obs::count(obs::Counter::kCorpusManifestsMerged);
+  return merged;
+}
+
+Corpus load_corpus(const std::string& dir) {
+  return Corpus{dir, capture::read_manifest(dir + "/manifest.txt")};
+}
+
+std::string trace_path(const Corpus& corpus, const capture::ManifestEntry& entry) {
+  return corpus.dir + "/" + entry.file;
+}
+
+}  // namespace h2priv::corpus

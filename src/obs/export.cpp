@@ -54,6 +54,14 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
     "capture.raw_bytes",
     "capture.traces_read",
     "capture.bytes_read",
+    "corpus.shards_written",
+    "corpus.manifests_merged",
+    "corpus.traces_scored",
+    "corpus.bytes_mapped",
+    "score.classifications",
+    "score.train_traces",
+    "score.eval_traces",
+    "score.curve_points",
     "core.runs",
     "core.pages_complete",
     "core.broken_runs",

@@ -89,6 +89,16 @@ enum class Counter : std::uint16_t {
   kCaptureRawBytes,
   kCaptureTracesRead,
   kCaptureBytesRead,
+  // corpus: sharded .h2t store + offline scoring pipeline
+  kCorpusShardsWritten,
+  kCorpusManifestsMerged,
+  kCorpusTracesScored,
+  kCorpusBytesMapped,
+  // score: classifier decisions and evaluation coverage
+  kScoreClassifications,
+  kScoreTrainTraces,
+  kScoreEvalTraces,
+  kScoreCurvePoints,
   // core: per-run outcomes
   kCoreRuns,
   kCorePagesComplete,

@@ -79,6 +79,92 @@ TEST(Fingerprinter, UntrainedReturnsEmpty) {
   EXPECT_TRUE(fp.classify(profile({1'000})).empty());
 }
 
+TEST(FingerprinterKnn, MajorityVoteOutvotesOneCloseOutlier) {
+  // One mislabelled trace sits closest to the probe, but two page-a traces
+  // fill the rest of the k=3 neighbourhood and outvote it.
+  Fingerprinter fp;
+  fp.train("page-a", profile({10'000, 20'000}));
+  fp.train("page-a", profile({10'400, 20'400}));
+  fp.train("outlier", profile({10'100, 20'100}));
+  fp.train("page-b", profile({70'000, 90'000}));
+  const SizeProfile probe = profile({10'120, 20'120});
+  EXPECT_EQ(fp.classify(probe), "outlier");  // 1-NN is fooled
+  EXPECT_EQ(fp.classify_knn(probe, 3), "page-a");
+}
+
+TEST(FingerprinterKnn, KOneMatchesClassify) {
+  Fingerprinter fp;
+  fp.train("page-a", profile({2'000, 8'000, 30'000}));
+  fp.train("page-b", profile({3'000, 12'000, 14'000}));
+  const SizeProfile probe = profile({2'060, 7'930, 30'140});
+  EXPECT_EQ(fp.classify_knn(probe, 1), fp.classify(probe));
+}
+
+TEST(FingerprinterKnn, DeterministicUnderTrainingOrderAndEdgeCases) {
+  // Equidistant neighbours with a split vote: the tie must resolve the same
+  // way for any insertion order (summed distance, then label).
+  const SizeProfile probe = profile({10'000});
+  const std::vector<std::pair<std::string, SizeProfile>> corpus = {
+      {"beta", profile({10'500})},
+      {"alpha", profile({9'500})},
+      {"alpha", profile({12'000})},
+      {"beta", profile({8'200})},
+  };
+  Fingerprinter forward, backward;
+  for (const auto& [label, p] : corpus) forward.train(label, p);
+  for (auto it = corpus.rbegin(); it != corpus.rend(); ++it) {
+    backward.train(it->first, it->second);
+  }
+  const std::string verdict = forward.classify_knn(probe, 4);
+  EXPECT_EQ(verdict, backward.classify_knn(probe, 4));
+  EXPECT_EQ(verdict, "beta");  // beta's two votes sum closer than alpha's
+
+  EXPECT_TRUE(Fingerprinter{}.classify_knn(probe, 3).empty());
+  EXPECT_TRUE(forward.classify_knn(probe, 0).empty());
+  // k beyond the training set degrades to voting over everything.
+  EXPECT_EQ(forward.classify_knn(probe, 99), verdict);
+}
+
+TEST(CentroidModel, FoldsIntegerMedianCentroid) {
+  CentroidModel model;
+  model.train("page", profile({1'000, 5'000}));
+  model.train("page", profile({1'200, 5'200}));
+  model.train("page", profile({1'100, 5'100}));
+  const SizeProfile* c = model.centroid("page");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(*c, profile({1'100, 5'100}));  // per-position lower median
+  EXPECT_EQ(model.centroid("missing"), nullptr);
+  EXPECT_EQ(model.label_count(), 1u);
+}
+
+TEST(CentroidModel, CentroidAbsorbsOutlierTraces) {
+  // A single wild training trace shifts 1-NN but not the median centroid.
+  CentroidModel model;
+  model.train("page-a", profile({10'000, 20'000}));
+  model.train("page-a", profile({10'200, 20'200}));
+  model.train("page-a", profile({90'000, 150'000}));  // capture glitch
+  model.train("page-b", profile({60'000, 80'000}));
+  EXPECT_EQ(model.classify(profile({10'100, 20'100})), "page-a");
+  const SizeProfile* c = model.centroid("page-a");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(*c, profile({10'200, 20'200}));
+}
+
+TEST(CentroidModel, RaggedProfileLengthsResampleToMedianLength) {
+  CentroidModel model;
+  model.train("page", profile({4'000}));
+  model.train("page", profile({4'100, 8'000, 9'000}));
+  model.train("page", profile({4'200, 8'100}));
+  const SizeProfile* c = model.centroid("page");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->size(), 2u);  // lower median of lengths {1, 2, 3}
+  EXPECT_TRUE(std::is_sorted(c->begin(), c->end()));
+}
+
+TEST(CentroidModel, UntrainedReturnsEmpty) {
+  EXPECT_TRUE(CentroidModel{}.classify(profile({1'000})).empty());
+}
+
 class FingerprintProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FingerprintProperty, ClosedWorldRecoveryUnderNoise) {

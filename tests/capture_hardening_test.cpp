@@ -1,0 +1,280 @@
+// Reader hardening: hostile .h2t images must raise TraceError, never UB.
+//
+// Exercises the shared validator (capture::validate_and_index) through both
+// reader paths — the eager TraceReader and the lazy mmap'd TraceFile — with
+// surgically corrupted trailers (truncated tail, overlapping sections,
+// offsets past EOF, implausible counts) plus a seeded fuzz sweep of random
+// byte flips and truncations over an otherwise-valid image.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "h2priv/capture/corpus.hpp"
+#include "h2priv/capture/trace_reader.hpp"
+#include "h2priv/capture/trace_view.hpp"
+#include "h2priv/capture/trace_writer.hpp"
+#include "h2priv/sim/rng.hpp"
+
+namespace h2priv::capture {
+namespace {
+
+std::string temp_path(const char* name) {
+  // ctest runs each TEST_F as its own process, concurrently — scope scratch
+  // files by test name so parallel fixtures never race on the same path.
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + "h2t_hardening_" + info->name() + "_" + name +
+         ".h2t";
+}
+
+util::Bytes slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return util::Bytes{std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const util::Bytes& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(content.data()),
+            static_cast<std::streamsize>(content.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// Big-endian field patching (the .h2t trailer is fixed-width big-endian).
+void put_u64be(util::Bytes& image, std::size_t at, std::uint64_t v) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    image[at + i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+  }
+}
+
+void put_u32be(util::Bytes& image, std::size_t at, std::uint32_t v) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    image[at + i] = static_cast<std::uint8_t>(v >> (24 - 8 * i));
+  }
+}
+
+[[nodiscard]] std::uint64_t get_u64be(const util::Bytes& image, std::size_t at) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) v = (v << 8) | image[at + i];
+  return v;
+}
+
+/// Byte offset of trailer-table entry `i` (28 bytes per entry; the entry's
+/// offset/length/count u64s sit at +4/+12/+20).
+[[nodiscard]] std::size_t entry_at(const util::Bytes& image, std::size_t i) {
+  const std::size_t table =
+      static_cast<std::size_t>(get_u64be(image, image.size() - 16));
+  return table + i * kSectionEntryBytes;
+}
+
+/// A hostile image must be rejected with TraceError by both reader paths;
+/// anything else (other exception types, aborts, sanitizer reports) fails.
+void expect_rejected(const util::Bytes& image, const char* label) {
+  EXPECT_THROW(TraceReader{image}, TraceError) << label;
+  EXPECT_THROW(TraceFile{image}, TraceError) << label;
+}
+
+class TraceHardening : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = temp_path("base");
+    sim::Rng rng(2026);
+    TraceMeta meta;
+    meta.seed = 77;
+    meta.scenario = "hardening";
+    TraceWriter writer(path_, meta);
+    std::int64_t t = 0;
+    std::uint64_t off = 0;
+    for (int i = 0; i < 40; ++i) {
+      analysis::PacketObservation p;
+      t += rng.uniform_int(1'000, 900'000);
+      p.time = util::TimePoint{t};
+      p.dir = rng.chance(0.5) ? net::Direction::kClientToServer
+                              : net::Direction::kServerToClient;
+      p.wire_size = rng.uniform_int(40, 1'500);
+      p.seq = static_cast<std::uint64_t>(rng.next());
+      p.ack = static_cast<std::uint64_t>(rng.next());
+      p.payload_len = static_cast<std::size_t>(rng.uniform_int(0, 1'460));
+      writer.add_packet(p);
+
+      analysis::RecordObservation r;
+      r.time = util::TimePoint{t};
+      r.dir = p.dir;
+      r.ciphertext_len = static_cast<std::size_t>(rng.uniform_int(21, 0x4000));
+      off += r.ciphertext_len + 5;
+      r.stream_offset = off;
+      writer.add_record(r);
+    }
+    analysis::GroundTruth truth;
+    const analysis::InstanceId id = truth.register_instance(3, 5, false);
+    truth.record_data(id, h2::WireSpan{0, 4'000});
+    truth.record_headers(id, h2::WireSpan{4'000, 4'020});
+    truth.mark_complete(id);
+    writer.set_ground_truth(truth);
+    TraceSummary summary;
+    summary.monitor_packets = 40;
+    summary.predicted_sequence = {"party-1", "party-2"};
+    writer.set_summary(summary);
+    writer.finish();
+    image_ = slurp(path_);
+    std::remove(path_.c_str());
+  }
+
+  std::string path_;
+  util::Bytes image_;
+};
+
+TEST_F(TraceHardening, ValidImageParsesThroughBothPaths) {
+  EXPECT_NO_THROW(TraceReader{image_});
+  const TraceFile lazy{image_};
+  EXPECT_EQ(lazy.meta().seed, 77u);
+  EXPECT_EQ(lazy.meta().scenario, "hardening");
+}
+
+TEST_F(TraceHardening, LazyAndEagerReadersAgree) {
+  const TraceReader eager{image_};
+  const TraceFile lazy{image_};
+  EXPECT_EQ(lazy.digest(), eager.digest());
+  EXPECT_EQ(lazy.file_size(), eager.file_size());
+  EXPECT_EQ(lazy.packet_count(), eager.packets().size());
+  for (const auto dir :
+       {net::Direction::kClientToServer, net::Direction::kServerToClient}) {
+    const auto lazy_records = lazy.records(dir);
+    ASSERT_EQ(lazy_records.size(), eager.records(dir).size());
+    for (std::size_t i = 0; i < lazy_records.size(); ++i) {
+      EXPECT_EQ(lazy_records[i].stream_offset, eager.records(dir)[i].stream_offset);
+      EXPECT_EQ(lazy_records[i].ciphertext_len, eager.records(dir)[i].ciphertext_len);
+    }
+  }
+  EXPECT_EQ(lazy.summary(), eager.summary());
+
+  // The streaming cursor yields the same packets as the eager vector.
+  PacketCursor cursor = lazy.packets();
+  analysis::PacketObservation p;
+  std::size_t n = 0;
+  while (cursor.next(p)) {
+    ASSERT_LT(n, eager.packets().size());
+    EXPECT_EQ(p.seq, eager.packets()[n].seq);
+    EXPECT_EQ(p.time.ns, eager.packets()[n].time.ns);
+    ++n;
+  }
+  EXPECT_EQ(n, eager.packets().size());
+  EXPECT_EQ(cursor.remaining(), 0u);
+}
+
+TEST_F(TraceHardening, TruncatedSectionTrailerIsRejected) {
+  // Inflate the declared section count so the table extends past the image.
+  util::Bytes bad = image_;
+  put_u32be(bad, bad.size() - kTrailerTailBytes, 0x00ffffff);
+  expect_rejected(bad, "inflated section count");
+
+  // Chop the image inside the trailer table (end magic re-planted so only
+  // the table truncation itself is on trial).
+  util::Bytes cut(image_.begin(),
+                  image_.begin() + static_cast<std::ptrdiff_t>(entry_at(image_, 1)));
+  const util::Bytes tail(image_.end() - kTrailerTailBytes, image_.end());
+  cut.insert(cut.end(), tail.begin(), tail.end());
+  expect_rejected(cut, "truncated trailer table");
+}
+
+TEST_F(TraceHardening, SectionOffsetPastEofIsRejected) {
+  util::Bytes bad = image_;
+  put_u64be(bad, entry_at(bad, 0) + 4, bad.size() + 1'000);
+  expect_rejected(bad, "offset past EOF");
+
+  // Offset in range but length running past the trailer table.
+  util::Bytes bad2 = image_;
+  put_u64be(bad2, entry_at(bad2, 0) + 12, bad2.size());
+  expect_rejected(bad2, "length past EOF");
+
+  // Offset pointing inside the fixed header.
+  util::Bytes bad3 = image_;
+  put_u64be(bad3, entry_at(bad3, 0) + 4, 4);
+  expect_rejected(bad3, "offset inside header");
+}
+
+TEST_F(TraceHardening, OverlappingSectionsAreRejected) {
+  // Slide section 1 so it starts inside section 0's payload. Both sections
+  // are non-empty in the fixture (packets, then records).
+  util::Bytes bad = image_;
+  const std::uint64_t first_off = get_u64be(bad, entry_at(bad, 0) + 4);
+  const std::uint64_t first_len = get_u64be(bad, entry_at(bad, 0) + 12);
+  ASSERT_GT(first_len, 1u);
+  put_u64be(bad, entry_at(bad, 1) + 4, first_off + first_len - 1);
+  expect_rejected(bad, "overlapping sections");
+}
+
+TEST_F(TraceHardening, ImplausibleEntryCountIsRejectedWithoutAllocating) {
+  // A count no payload of this length could hold must be refused up front —
+  // the failure mode guarded against is a multi-GiB reserve(), not a throw
+  // from deep inside the decode loop.
+  for (std::size_t entry : {std::size_t{0}, std::size_t{2}}) {  // packets, records
+    util::Bytes bad = image_;
+    put_u64be(bad, entry_at(bad, entry) + 20, 0x7fffffffffffffffULL);
+    expect_rejected(bad, "implausible count");
+  }
+}
+
+TEST_F(TraceHardening, FuzzedImagesNeverEscapeTraceError) {
+  sim::Rng rng(424242);
+  int parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    util::Bytes mutated = image_;
+    const int flips = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < flips; ++i) {
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      mutated[at] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    }
+    if (rng.chance(0.25)) {
+      mutated.resize(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()))));
+    }
+    try {
+      const TraceReader reader{mutated};
+      ++parsed;  // mutation landed somewhere harmless (or was masked)
+    } catch (const TraceError&) {
+      ++rejected;
+    }
+    // Any other exception type propagates and fails the test.
+  }
+  EXPECT_GT(rejected, 0);
+  SUCCEED() << parsed << " parsed, " << rejected << " rejected";
+}
+
+TEST_F(TraceHardening, StreamedFileDigestMatchesWholeImageDigest) {
+  // digest_file streams in 64 KiB chunks; it must agree with the one-shot
+  // fnv1a and the chunk-walking digest_view on a file spanning several
+  // chunks. The fixture trace is small, so pad a copy out past 3 chunks
+  // with a second image's worth of appended bytes (digest input is raw
+  // bytes; validity as a trace is irrelevant here).
+  util::Bytes big = image_;
+  while (big.size() < 3 * util::kFileChunkBytes + 17) {
+    big.insert(big.end(), image_.begin(), image_.end());
+  }
+  const std::string path = temp_path("digest");
+  spit(path, big);
+  const util::BytesView view{big.data(), big.size()};
+  EXPECT_EQ(digest_file(path), fnv1a(view));
+  EXPECT_EQ(digest_view(view), fnv1a(view));
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceHardening, TraceFileOpenMapsAndMatchesInMemoryParse) {
+  const std::string path = temp_path("mmap");
+  spit(path, image_);
+  const TraceFile mapped = TraceFile::open(path);
+  const TraceFile in_memory{image_};
+  EXPECT_EQ(mapped.digest(), in_memory.digest());
+  EXPECT_EQ(mapped.meta().seed, in_memory.meta().seed);
+  EXPECT_EQ(mapped.sections().size(), in_memory.sections().size());
+  EXPECT_THROW((void)TraceFile::open(temp_path("nonexistent")), TraceError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace h2priv::capture

@@ -194,6 +194,65 @@ TEST(CaptureReplay, MetricsJsonBitIdenticalAcrossJobsWithCaptureOn) {
   fs::remove_all(base);
 }
 
+bool same_record_vec(const std::vector<analysis::RecordObservation>& a,
+                     const std::vector<analysis::RecordObservation>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].time != b[i].time || a[i].dir != b[i].dir || a[i].type != b[i].type ||
+        a[i].ciphertext_len != b[i].ciphertext_len ||
+        a[i].stream_offset != b[i].stream_offset) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(CaptureReplay, ChunkedEngineMatchesEagerBitForBit) {
+  for (const std::string name : {"fig2", "table2"}) {
+    const std::string ctx = name;
+    const std::string path = ::testing::TempDir() + "replay_chunked_" + name + ".h2t";
+    core::RunConfig cfg = scenario(name);
+    cfg.seed = 1000;
+    cfg.capture.path = path;
+    (void)core::run_once(cfg);
+
+    const capture::TraceReader eager = capture::TraceReader::open(path);
+    const capture::TraceFile lazy = capture::TraceFile::open(path);
+
+    // Monitor state: the chunked engine (streaming cursor + per-packet
+    // payload synthesis, packet retention off) must land the analysis in
+    // the same place as the eager engine's full-stream synthesis.
+    core::TrafficMonitor m_eager;
+    capture::replay_into(eager, m_eager);
+    core::MonitorConfig chunked_cfg;
+    chunked_cfg.retain_packets = false;
+    core::TrafficMonitor m_chunked(chunked_cfg);
+    capture::replay_into(lazy, m_chunked);
+    EXPECT_EQ(m_chunked.packets_seen(), m_eager.packets_seen()) << ctx;
+    EXPECT_TRUE(m_chunked.packets().empty()) << ctx;  // bounded-memory mode
+    EXPECT_EQ(m_chunked.get_count(), m_eager.get_count()) << ctx;
+    for (const auto dir :
+         {net::Direction::kClientToServer, net::Direction::kServerToClient}) {
+      EXPECT_TRUE(same_record_vec(m_chunked.records(dir), m_eager.records(dir)))
+          << ctx;
+    }
+
+    // Full verdicts: eager replay, chunked replay, and the records-direct
+    // fast path must all agree with the stored summary.
+    const capture::ReplayResult r_eager = capture::replay(eager);
+    const capture::ReplayResult r_chunked = capture::replay(lazy);
+    EXPECT_TRUE(r_eager.records_match) << ctx;
+    EXPECT_TRUE(r_chunked.records_match) << ctx;
+    EXPECT_TRUE(r_eager.summary_matches) << ctx;
+    EXPECT_TRUE(r_chunked.summary_matches) << ctx;
+    EXPECT_EQ(r_chunked.summary, r_eager.summary) << ctx;
+    EXPECT_EQ(capture::score_stored(lazy), r_eager.summary) << ctx;
+    EXPECT_EQ(capture::count_gets(lazy.records(net::Direction::kClientToServer)),
+              m_eager.get_count()) << ctx;
+    std::remove(path.c_str());
+  }
+}
+
 TEST(CaptureReplay, ReplayCountsReadsIntoObs) {
   const std::string path = ::testing::TempDir() + "replay_obs.h2t";
   core::RunConfig cfg = scenario("fig2");

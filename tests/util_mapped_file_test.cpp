@@ -1,0 +1,97 @@
+// util::MappedFile: the zero-copy file view the corpus readers sit on.
+// The mmap path and the H2PRIV_NO_MMAP buffered fallback must expose
+// byte-identical views, including the empty-file and missing-file edges.
+#include "h2priv/util/mapped_file.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace h2priv::util {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "mapped_file_" + name + ".bin";
+}
+
+void write_file(const std::string& path, const Bytes& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(content.data()),
+            static_cast<std::streamsize>(content.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+Bytes patterned(std::size_t n) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>((i * 131) ^ (i >> 8));
+  }
+  return b;
+}
+
+/// RAII toggle for the H2PRIV_NO_MMAP escape hatch.
+class NoMmapGuard {
+ public:
+  NoMmapGuard() { ::setenv("H2PRIV_NO_MMAP", "1", 1); }
+  ~NoMmapGuard() { ::unsetenv("H2PRIV_NO_MMAP"); }
+  NoMmapGuard(const NoMmapGuard&) = delete;
+  NoMmapGuard& operator=(const NoMmapGuard&) = delete;
+};
+
+TEST(MappedFile, ViewMatchesFileBytes) {
+  const std::string path = temp_path("basic");
+  const Bytes content = patterned(12'345);
+  write_file(path, content);
+
+  const MappedFile f = MappedFile::open(path);
+  ASSERT_EQ(f.size(), content.size());
+  const BytesView v = f.view();
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), content.begin()));
+}
+
+TEST(MappedFile, FallbackViewIsIdenticalToMapped) {
+  const std::string path = temp_path("fallback");
+  // Larger than one 64 KiB chunk so the pread loop takes several laps.
+  const Bytes content = patterned(3 * kFileChunkBytes + 17);
+  write_file(path, content);
+
+  const MappedFile mapped = MappedFile::open(path);
+  NoMmapGuard guard;
+  const MappedFile buffered = MappedFile::open(path);
+  EXPECT_FALSE(buffered.is_mapped());
+  ASSERT_EQ(mapped.size(), buffered.size());
+  const BytesView a = mapped.view();
+  const BytesView b = buffered.view();
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), content.begin()));
+}
+
+TEST(MappedFile, EmptyFileGivesEmptyView) {
+  const std::string path = temp_path("empty");
+  write_file(path, {});
+  const MappedFile f = MappedFile::open(path);
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_TRUE(f.view().empty());
+}
+
+TEST(MappedFile, MissingFileThrows) {
+  EXPECT_THROW((void)MappedFile::open(temp_path("does_not_exist_xyz")),
+               std::runtime_error);
+}
+
+TEST(MappedFile, MoveTransfersTheView) {
+  const std::string path = temp_path("move");
+  const Bytes content = patterned(4'096);
+  write_file(path, content);
+
+  MappedFile a = MappedFile::open(path);
+  const MappedFile b = std::move(a);
+  ASSERT_EQ(b.size(), content.size());
+  const BytesView v = b.view();
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), content.begin()));
+}
+
+}  // namespace
+}  // namespace h2priv::util

@@ -1,18 +1,22 @@
 // h2priv_trace — the trace-store workbench.
 //
-//   generate    run the simulator and capture .h2t traces (single or corpus)
+//   generate    run the simulator and capture .h2t traces (single, corpus,
+//               or sharded corpus with --shard-capacity)
 //   inspect     print a trace's metadata, section table and verdict
 //   export-pcap synthesize a Wireshark-compatible pcap from a trace
 //   replay      recompute the attack verdict offline; verify against stored
+//   score       corpus-wide records-direct scoring pipeline + classifier
 //   digest      print FNV-1a digests (trace files or a whole corpus)
 //
 // Corpus workflow:
 //   h2priv_trace generate --corpus DIR --runs 20 --scenario table2 --seed 1000
 //   h2priv_trace inspect DIR/run_1000.h2t
 //   h2priv_trace replay --corpus DIR          # hard-fails on any mismatch
+//   h2priv_trace score --corpus DIR --jobs 4 --classifier knn --out report.txt
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +26,8 @@
 #include "h2priv/capture/trace_reader.hpp"
 #include "h2priv/core/experiment.hpp"
 #include "h2priv/core/parallel_runner.hpp"
+#include "h2priv/corpus/score.hpp"
+#include "h2priv/corpus/store.hpp"
 
 using namespace h2priv;
 
@@ -32,10 +38,13 @@ int usage() {
       stderr,
       "usage: h2priv_trace <command> [args]\n"
       "  generate (--out FILE | --corpus DIR --runs N) [--scenario NAME]\n"
-      "           [--seed N] [--jobs N]   scenarios: fig2 | table2 | baseline\n"
+      "           [--seed N] [--jobs N] [--shard-capacity N]\n"
+      "           scenarios: fig2 | table2 | baseline\n"
       "  inspect FILE.h2t [--packets-csv] [--records-csv]\n"
       "  export-pcap FILE.h2t OUT.pcap\n"
       "  replay (FILE.h2t | --corpus DIR)\n"
+      "  score --corpus DIR [--jobs N] [--classifier none|nearest|knn|centroid]\n"
+      "        [--k N] [--train-mod N] [--replay-verify] [--out FILE]\n"
       "  digest (FILE.h2t... | --corpus DIR)\n");
   return 2;
 }
@@ -83,7 +92,7 @@ void print_summary(const capture::TraceSummary& s, const char* heading) {
 int cmd_generate(const std::vector<std::string>& args) {
   std::string out, corpus, scenario;
   std::uint64_t seed = 1000;
-  int runs = 1, jobs = 0;
+  int runs = 1, jobs = 0, shard_capacity = 0;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     const bool has_next = i + 1 < args.size();
@@ -99,6 +108,8 @@ int cmd_generate(const std::vector<std::string>& args) {
       runs = std::atoi(args[++i].c_str());
     } else if (a == "--jobs" && has_next) {
       jobs = std::atoi(args[++i].c_str());
+    } else if (a == "--shard-capacity" && has_next) {
+      shard_capacity = std::atoi(args[++i].c_str());
     } else {
       std::fprintf(stderr, "generate: bad argument %s\n", a.c_str());
       return 2;
@@ -119,11 +130,75 @@ int cmd_generate(const std::vector<std::string>& args) {
     return 0;
   }
   cfg.capture.corpus_dir = corpus;
+  if (shard_capacity > 0) {
+    const capture::Manifest merged =
+        corpus::generate_sharded(cfg, runs, corpus::ShardOptions{shard_capacity},
+                                 core::Parallelism{jobs});
+    std::printf("wrote %zu traces across %d shards + merged manifest.txt to %s\n",
+                merged.entries.size(),
+                (runs + shard_capacity - 1) / shard_capacity, corpus.c_str());
+    return 0;
+  }
   const std::vector<core::RunResult> results =
       core::run_many(cfg, runs, core::Parallelism{jobs});
   std::printf("wrote %zu traces + manifest.txt to %s\n", results.size(),
               corpus.c_str());
   return 0;
+}
+
+int cmd_score(const std::vector<std::string>& args) {
+  std::string dir, out;
+  corpus::ScoreOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const bool has_next = i + 1 < args.size();
+    if (a == "--corpus" && has_next) {
+      dir = args[++i];
+    } else if (a == "--jobs" && has_next) {
+      options.parallelism = core::Parallelism{std::atoi(args[++i].c_str())};
+    } else if (a == "--classifier" && has_next) {
+      const auto parsed = corpus::classifier_from_name(args[++i]);
+      if (!parsed) {
+        std::fprintf(stderr, "score: unknown classifier %s\n", args[i].c_str());
+        return 2;
+      }
+      options.classifier = *parsed;
+    } else if (a == "--k" && has_next) {
+      options.knn_k = static_cast<std::size_t>(std::atoi(args[++i].c_str()));
+    } else if (a == "--train-mod" && has_next) {
+      options.train_mod = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (a == "--replay-verify") {
+      options.replay_verify = true;
+    } else if (a == "--out" && has_next) {
+      out = args[++i];
+    } else {
+      std::fprintf(stderr, "score: bad argument %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "score: --corpus DIR required\n");
+    return 2;
+  }
+  const corpus::ScoreReport report =
+      corpus::score_corpus(corpus::load_corpus(dir), options);
+  const std::string text = corpus::format_report(report);
+  if (out.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream os(out, std::ios::binary | std::ios::trunc);
+    os << text;
+    os.flush();
+    if (!os) {
+      std::fprintf(stderr, "score: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu traces, %zu curve points)\n", out.c_str(),
+                report.traces.size(), report.curve.size());
+  }
+  // Scoring hard-fails when any trace's recomputed verdict diverges from the
+  // stored one (or replay verification fails) — the CI gate's contract.
+  return report.summary_mismatches == 0 && report.replay_failures == 0 ? 0 : 1;
 }
 
 int cmd_inspect(const std::vector<std::string>& args) {
@@ -280,6 +355,7 @@ int main(int argc, char** argv) {
     if (cmd == "inspect") return cmd_inspect(args);
     if (cmd == "export-pcap") return cmd_export_pcap(args);
     if (cmd == "replay") return cmd_replay(args);
+    if (cmd == "score") return cmd_score(args);
     if (cmd == "digest") return cmd_digest(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "h2priv_trace: %s\n", e.what());

@@ -68,6 +68,9 @@ SIM_CRITICAL = (
     # capture serializes traces and replays them through the analysis stack;
     # any ordering or ambient-state leak here breaks byte-identical corpora.
     "src/capture",
+    # corpus builds sharded stores and --jobs-invariant scoring reports whose
+    # byte-identity is CI-enforced with cmp.
+    "src/corpus",
 )
 ALL_SRC = ("src",)
 THREAD_LOCAL_EXEMPT = ("src/util", "src/obs")
