@@ -58,6 +58,7 @@ BENCHES = [
     ("bench_fig3_interleaving", ["50", "--jobs", "2"], ["5", "--jobs", "2"]),
     ("bench_replay", ["8", "--jobs", "2"], ["4", "--jobs", "2"]),
     ("bench_corpus_score", ["12", "--jobs", "2"], ["6", "--jobs", "2"]),
+    ("bench_codec", ["8", "--jobs", "2"], ["4", "--jobs", "2"]),
 ]
 
 BENCH_MARKER = "BENCH_JSON "

@@ -1,6 +1,8 @@
 #include "h2priv/analysis/fingerprint.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <limits>
 
 namespace h2priv::analysis {
@@ -9,6 +11,66 @@ SizeProfile profile_from_bursts(const std::vector<EstimatedObject>& bursts) {
   SizeProfile profile;
   profile.reserve(bursts.size());
   for (const EstimatedObject& b : bursts) profile.push_back(b.body_estimate);
+  std::sort(profile.begin(), profile.end());
+  return profile;
+}
+
+namespace {
+
+/// Clamped log2 bin: bit_width of the value, capped at kFeatureBins - 1.
+[[nodiscard]] std::size_t log2_bin(std::uint64_t v) noexcept {
+  return std::min<std::size_t>(kFeatureBins - 1,
+                               static_cast<std::size_t>(std::bit_width(v)));
+}
+
+/// Renders a 16-bin count array as tagged profile entries (all bins, count 0
+/// included, so two traces' histograms always pair up bin-for-bin in the
+/// profile_distance sweep).
+[[nodiscard]] SizeProfile tag_bins(std::size_t base,
+                                   const std::array<std::size_t, kFeatureBins>& bins) {
+  SizeProfile out;
+  out.reserve(kFeatureBins);
+  for (std::size_t bin = 0; bin < kFeatureBins; ++bin) {
+    out.push_back(base + bin * kFeatureBinStride + bins[bin]);
+  }
+  return out;
+}
+
+}  // namespace
+
+SizeProfile gap_features(const std::vector<EstimatedObject>& bursts) {
+  std::array<std::size_t, kFeatureBins> bins{};
+  for (std::size_t i = 1; i < bursts.size(); ++i) {
+    const std::int64_t gap_ns =
+        bursts[i].first_record.ns - bursts[i - 1].last_record.ns;
+    const std::uint64_t gap_ms =
+        gap_ns > 0 ? static_cast<std::uint64_t>(gap_ns) / 1'000'000u : 0;
+    ++bins[log2_bin(gap_ms)];
+  }
+  return tag_bins(kGapFeatureBase, bins);
+}
+
+SizeProfile record_size_features(std::span<const RecordObservation> records) {
+  std::array<std::size_t, kFeatureBins> bins{};
+  for (const RecordObservation& r : records) {
+    ++bins[log2_bin(static_cast<std::uint64_t>(r.ciphertext_len))];
+  }
+  return tag_bins(kRecordFeatureBase, bins);
+}
+
+SizeProfile build_feature_profile(unsigned features,
+                                  const std::vector<EstimatedObject>& bursts,
+                                  std::span<const RecordObservation> records) {
+  SizeProfile profile;
+  if ((features & kFeatureBursts) != 0) profile = profile_from_bursts(bursts);
+  if ((features & kFeatureGapHist) != 0) {
+    const SizeProfile gaps = gap_features(bursts);
+    profile.insert(profile.end(), gaps.begin(), gaps.end());
+  }
+  if ((features & kFeatureRecordHist) != 0) {
+    const SizeProfile sizes = record_size_features(records);
+    profile.insert(profile.end(), sizes.begin(), sizes.end());
+  }
   std::sort(profile.begin(), profile.end());
   return profile;
 }

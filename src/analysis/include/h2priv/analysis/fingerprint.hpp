@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,47 @@ namespace h2priv::analysis {
 using SizeProfile = std::vector<std::size_t>;
 
 [[nodiscard]] SizeProfile profile_from_bursts(const std::vector<EstimatedObject>& bursts);
+
+// --- feature families --------------------------------------------------------
+//
+// A feature vector is still a SizeProfile — a sorted multiset of integers —
+// so every classifier and profile_distance() work unchanged. Families beyond
+// the raw burst sizes are tagged into disjoint integer ranges far above any
+// plausible burst size (bursts stay < 2^40): each histogram entry encodes
+// base + bin * 2^28 + count. Within one family+bin, two traces' entries sit
+// well inside profile_distance's factor-of-two match window, so the sweep
+// pairs them up and the matching cost reduces to the L1 histogram distance
+// Σ|count_a - count_b|. All 16 bins are always emitted (count 0 included) so
+// the pairing never slips. Everything is integer-only and deterministic.
+
+/// Selectable feature families (bitmask).
+enum Feature : unsigned {
+  kFeatureBursts = 1u << 0,      ///< burst body estimates (the classic profile)
+  kFeatureGapHist = 1u << 1,     ///< inter-burst idle-gap timing histogram
+  kFeatureRecordHist = 1u << 2,  ///< TLS record ciphertext-size histogram
+};
+
+inline constexpr std::size_t kFeatureBins = 16;
+inline constexpr std::size_t kFeatureBinStride = std::size_t{1} << 28;
+inline constexpr std::size_t kGapFeatureBase = std::size_t{1} << 44;
+inline constexpr std::size_t kRecordFeatureBase = std::size_t{1} << 46;
+
+/// Log2 histogram of the idle gaps between consecutive bursts, measured in
+/// milliseconds (bin = bit_width(gap_ms), clamped to 15): bin 0 is sub-ms,
+/// bin 15 is >= 16.4 s. Always 16 entries, tagged at kGapFeatureBase.
+[[nodiscard]] SizeProfile gap_features(const std::vector<EstimatedObject>& bursts);
+
+/// Log2 histogram of TLS record ciphertext sizes (bin = bit_width(len),
+/// clamped to 15 — records top out at 16 KiB + overhead). Always 16
+/// entries, tagged at kRecordFeatureBase.
+[[nodiscard]] SizeProfile record_size_features(
+    std::span<const RecordObservation> records);
+
+/// Assembles the sorted feature vector for the families selected in
+/// `features` (Feature bits OR'd together).
+[[nodiscard]] SizeProfile build_feature_profile(
+    unsigned features, const std::vector<EstimatedObject>& bursts,
+    std::span<const RecordObservation> records);
 
 /// Greedy matching cost between two profiles; symmetric, >= 0, 0 iff equal.
 /// Unmatched bursts cost their full size.

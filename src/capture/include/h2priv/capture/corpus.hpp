@@ -21,6 +21,11 @@ struct ManifestEntry {
   std::uint64_t seed = 0;
   std::uint64_t packets = 0;
   std::uint64_t digest = 0;  ///< FNV-1a 64 of the trace file image
+  /// Fixed-width observation bytes the trace encodes (packets * 42 +
+  /// records * 26 — the capture.raw_bytes definition); 0 in pre-v2
+  /// manifests, which omitted the last two run-line fields.
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t stored_bytes = 0;  ///< trace file size on disk; 0 pre-v2
 
   friend bool operator==(const ManifestEntry&, const ManifestEntry&) = default;
 };
@@ -35,6 +40,15 @@ struct Manifest {
 
 /// Canonical per-run trace filename within a corpus directory.
 [[nodiscard]] std::string trace_filename(std::uint64_t seed);
+
+struct TraceSizes {
+  std::uint64_t raw_bytes = 0;     ///< fixed-width observation bytes
+  std::uint64_t stored_bytes = 0;  ///< file size on disk
+};
+
+/// Reads one trace's manifest byte counts from its trailer (mmap + skeleton
+/// validation only — no payload decode). Throws TraceError.
+[[nodiscard]] TraceSizes trace_sizes(const std::string& path);
 
 /// FNV-1a 64 over a file's bytes. Throws TraceError on I/O failure.
 [[nodiscard]] std::uint64_t digest_file(const std::string& path);

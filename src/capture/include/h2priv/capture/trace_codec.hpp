@@ -1,0 +1,219 @@
+// .h2t v2 block compression: stream-split sections, the block index, and the
+// cursor that decodes only the blocks a reader touches.
+//
+// v2 turns each compressible section into a set of *streams* (columns):
+// the packets section stores its tag bytes and five delta fields as six
+// separate byte streams, records sections four, ground truth and summary one
+// (their row encoding unchanged). Splitting by field groups bytes with the
+// same distribution, which is what lets the order-1 adaptive range coder
+// (util/range_coder.hpp) reach multiples of the v1 ratio without any stored
+// tables.
+//
+// Each stream is cut into kBlockBytes blocks, coded independently (model
+// reset per block), and the blocks of all streams are concatenated in the
+// writer's flush order to form the section payload. A block whose coded form
+// would not shrink is stored raw and read zero-copy from the mapped image.
+// The uncompressed kBlockIndex section is the directory: per section, the
+// stream count, per-stream raw lengths, and per-block {stream, flags,
+// coded length} in disk order — everything else (disk offsets, per-stream
+// raw offsets, per-block raw lengths) is derived by prefix sums, so the
+// index stays small and every declared size is cross-checked against the
+// trailer during validation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "h2priv/capture/trace_format.hpp"
+#include "h2priv/util/block_cache.hpp"
+#include "h2priv/util/bytes.hpp"
+#include "h2priv/util/range_coder.hpp"
+
+namespace h2priv::capture {
+
+/// Stream (column) counts per compressible section. kMeta is never
+/// compressed: it is a few dozen bytes and must decode at open().
+[[nodiscard]] constexpr std::uint32_t section_stream_count(Section id) noexcept {
+  switch (id) {
+    case Section::kPackets:
+      return 6;  // tag, dtime, dwire, dseq, dack, dlen
+    case Section::kRecordsC2S:
+    case Section::kRecordsS2C:
+      return 4;  // type, dtime, dlen, doff
+    case Section::kGroundTruth:
+    case Section::kSummary:
+      return 1;  // row layout unchanged, compressed as one stream
+    default:
+      return 0;  // not compressible
+  }
+}
+
+struct BlockInfo {
+  std::uint32_t stream = 0;      ///< column this block belongs to
+  std::uint64_t raw_offset = 0;  ///< offset within the stream's raw bytes
+  std::uint64_t raw_length = 0;
+  std::uint64_t disk_offset = 0;  ///< offset within the section payload
+  std::uint64_t comp_length = 0;
+  bool stored = false;  ///< raw fallback — served zero-copy from the image
+};
+
+/// One compressed section's fully validated block directory.
+struct SectionBlocks {
+  Section id = Section::kPackets;
+  std::uint32_t n_streams = 0;
+  std::uint64_t block_size = kBlockBytes;
+  std::vector<std::uint64_t> stream_raw_len;        ///< per stream
+  std::vector<BlockInfo> blocks;                    ///< disk order
+  std::vector<std::vector<std::uint32_t>> by_stream;  ///< block idx, raw order
+};
+
+/// Parsed once per TraceFile: the decoded kBlockIndex section plus the
+/// shared decode scratch (LRU block cache + range-coder model). Mutable
+/// through a const TraceFile; single-threaded like the TraceFile itself.
+struct BlockDirectory {
+  std::vector<SectionBlocks> sections;
+  util::BlockCache cache;
+  util::RcModel model;
+
+  [[nodiscard]] const SectionBlocks* find(Section id) const noexcept {
+    for (const SectionBlocks& s : sections) {
+      if (s.id == id) return &s;
+    }
+    return nullptr;
+  }
+};
+
+struct SectionInfo;  // trace_view.hpp
+
+/// Decodes and validates the kBlockIndex payload against the trailer table:
+/// every compressed section must be directoried exactly once with the right
+/// stream count, per-block coded lengths must sum to the section's byte
+/// length, per-stream blocks must tile the declared raw lengths, coded
+/// blocks must be strictly smaller than their raw form, and the count-vs-
+/// length plausibility check moves to the raw domain (stream 0 carries
+/// exactly one byte per entry). Throws TraceError on any inconsistency.
+[[nodiscard]] std::vector<SectionBlocks> decode_block_index(
+    util::BytesView payload, const std::vector<SectionInfo>& sections);
+
+/// Appends the block-index payload for `sections` (writer side).
+void encode_block_index(util::ByteWriter& out,
+                        const std::vector<SectionBlocks>& sections);
+
+/// Decompresses one whole section into `out` (ground truth / summary — the
+/// single-shot sections where random access buys nothing). Throws TraceError.
+void decompress_section(util::BytesView section_payload, const SectionBlocks& blocks,
+                        util::RcModel& model, util::Bytes& out);
+
+/// Sequential cursor over one stream of a compressed section. Pulls decoded
+/// blocks through the TraceFile's BlockCache on demand — a reader that stops
+/// early never decodes the blocks past its position. Throws TraceError
+/// (via util::OutOfBounds mapped by the caller) when reads pass the
+/// stream's declared raw length.
+///
+/// Holds views into the TraceFile's image and directory: it must not
+/// outlive the TraceFile that produced it.
+class StreamReader {
+ public:
+  /// Empty stream (absent section).
+  StreamReader() = default;
+
+  StreamReader(util::BytesView section_payload, const SectionBlocks& blocks,
+               std::uint32_t stream, BlockDirectory& dir);
+  StreamReader(const StreamReader&) = delete;
+  StreamReader& operator=(const StreamReader&) = delete;
+  StreamReader(StreamReader&& o) noexcept { swap(o); }
+  StreamReader& operator=(StreamReader&& o) noexcept {
+    if (this != &o) {
+      release_pin();
+      swap(o);
+    }
+    return *this;
+  }
+  ~StreamReader() { release_pin(); }
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (pos_ == cur_.size()) refill();
+    return cur_[pos_++];
+  }
+
+  [[nodiscard]] std::uint64_t varint();
+  [[nodiscard]] std::int64_t svarint();
+
+  /// Raw bytes not yet consumed across all remaining blocks.
+  [[nodiscard]] std::uint64_t remaining() const noexcept {
+    return left_ + (cur_.size() - pos_);
+  }
+
+ private:
+  void refill();
+  void release_pin() noexcept;
+  void swap(StreamReader& o) noexcept;
+
+  util::BytesView payload_;
+  const SectionBlocks* blocks_ = nullptr;
+  BlockDirectory* dir_ = nullptr;
+  std::uint32_t stream_ = 0;
+  std::size_t next_block_ = 0;  ///< index into blocks_->by_stream[stream_]
+  util::BytesView cur_;
+  std::size_t pos_ = 0;
+  std::uint64_t left_ = 0;      ///< raw bytes in blocks not yet loaded into cur_
+  std::int32_t pinned_ = -1;    ///< cache slot backing cur_, -1 = none/stored
+};
+
+/// Writer-side block emitter for one section: accumulates per-stream column
+/// bytes, compresses full kBlockBytes blocks as they fill (packets stream to
+/// disk mid-run with bounded memory), and remembers the index rows. The
+/// `sink` callable receives each block's on-disk bytes in flush order.
+class BlockColumnWriter {
+ public:
+  BlockColumnWriter(Section id, std::uint32_t n_streams);
+
+  [[nodiscard]] util::ByteWriter& stream(std::uint32_t s) { return *cols_[s]; }
+
+  /// Compresses and emits every stream's full blocks (called after each
+  /// appended entry; cheap no-op until a column crosses kBlockBytes).
+  template <typename Sink>
+  void flush_full_blocks(Sink&& sink) {
+    for (std::uint32_t s = 0; s < n_streams(); ++s) {
+      while (cols_[s]->size() >= kBlockBytes) emit_first_block(s, sink);
+    }
+  }
+
+  /// Emits all remaining column tails in stream order. Call once, at the
+  /// end of the section.
+  template <typename Sink>
+  void finish(Sink&& sink) {
+    for (std::uint32_t s = 0; s < n_streams(); ++s) {
+      while (cols_[s]->size() > 0) emit_first_block(s, sink);
+    }
+  }
+
+  /// The accumulated directory entry (valid after finish()).
+  [[nodiscard]] const SectionBlocks& directory() const noexcept { return dir_; }
+  [[nodiscard]] std::uint32_t n_streams() const noexcept { return dir_.n_streams; }
+  [[nodiscard]] bool empty() const noexcept { return dir_.blocks.empty(); }
+
+ private:
+  template <typename Sink>
+  void emit_first_block(std::uint32_t s, Sink&& sink) {
+    const std::size_t take =
+        std::min<std::size_t>(cols_[s]->size(), static_cast<std::size_t>(kBlockBytes));
+    sink(encode_block(s, cols_[s]->view().first(take)));
+    consume_front(s, take);
+  }
+
+  /// Compresses (or stores) one block, records its index row, and returns
+  /// the on-disk bytes (valid until the next encode_block call).
+  [[nodiscard]] util::BytesView encode_block(std::uint32_t s, util::BytesView raw);
+  void consume_front(std::uint32_t s, std::size_t n);
+
+  SectionBlocks dir_;
+  std::vector<std::unique_ptr<util::ByteWriter>> cols_;
+  util::ByteWriter scratch_;
+  util::Bytes carry_;  ///< tail copy while consuming a flushed block
+  util::RcModel model_;
+};
+
+}  // namespace h2priv::capture

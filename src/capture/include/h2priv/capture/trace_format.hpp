@@ -39,7 +39,12 @@ inline constexpr std::array<std::uint8_t, 8> kMagic = {0x89, 'H',  '2',  'T',
                                                        '\r', '\n', 0x1a, '\n'};
 inline constexpr std::array<std::uint8_t, 8> kEndMagic = {'H', '2', 'T', 'E',
                                                           'N', 'D', 0x1a, '\n'};
-inline constexpr std::uint16_t kFormatVersion = 1;
+/// Version the writer emits. v2 adds per-section block compression (stream-
+/// split columns + adaptive range coding, trace_codec.hpp); readers accept
+/// v1 files forever — a v1 corpus on disk never needs rewriting to stay
+/// scorable.
+inline constexpr std::uint16_t kFormatVersion = 2;
+inline constexpr std::uint16_t kMinReadVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 24;
 /// Trailer tail after the section table: count(u32) + table offset(u64) +
 /// end magic(8).
@@ -55,7 +60,23 @@ enum class Section : std::uint32_t {
   kRecordsS2C = 4,
   kGroundTruth = 5,
   kSummary = 6,
+  /// v2: uncompressed directory of every compressed section's blocks
+  /// (streams, raw lengths, per-block coded sizes). See trace_codec.hpp.
+  kBlockIndex = 7,
 };
+
+/// v2: set on a trailer-table section id whose payload is block-compressed;
+/// the base id lives in the low bits. v1 files never set it.
+inline constexpr std::uint32_t kSectionCompressedFlag = 0x8000'0000u;
+
+/// v2 block size: each compressed stream is cut into independently decodable
+/// blocks of this many raw bytes (the last block of a stream is shorter), so
+/// a reader touching one packet range decodes ~64 KiB per stream, not the
+/// whole section, and the writer's memory stays bounded while streaming.
+inline constexpr std::uint64_t kBlockBytes = 64 * 1024;
+/// Upper bound a reader accepts for a file's declared block size — caps the
+/// decode buffer a hostile index can demand.
+inline constexpr std::uint64_t kMaxBlockBytes = 4 * 1024 * 1024;
 
 /// Canonical per-observation footprint used for the compression-ratio
 /// counters (capture.raw_bytes vs capture.bytes_written). Fixed widths, not

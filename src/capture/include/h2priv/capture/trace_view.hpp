@@ -19,12 +19,14 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "h2priv/analysis/ground_truth.hpp"
 #include "h2priv/analysis/observation.hpp"
+#include "h2priv/capture/trace_codec.hpp"
 #include "h2priv/capture/trace_format.hpp"
 #include "h2priv/util/bytes.hpp"
 #include "h2priv/util/mapped_file.hpp"
@@ -34,8 +36,10 @@ namespace h2priv::capture {
 struct SectionInfo {
   Section id = Section::kMeta;
   std::uint64_t offset = 0;
-  std::uint64_t length = 0;
+  std::uint64_t length = 0;  ///< on-disk payload bytes (coded size if compressed)
   std::uint64_t count = 0;
+  bool compressed = false;       ///< v2: payload is block-compressed
+  std::uint64_t raw_length = 0;  ///< decoded payload bytes (== length when raw)
 };
 
 /// FNV-1a 64 over a byte span (same parameters as tests/support/trace_hash).
@@ -50,10 +54,13 @@ inline constexpr std::uint64_t kFnv1aInit = 0xcbf29ce484222325ULL;
 [[nodiscard]] std::uint64_t digest_view(util::BytesView data) noexcept;
 
 /// Validates the .h2t skeleton of `image` (magics, version, trailer) and
-/// returns the section table in file order. Throws TraceError on any
-/// structural fault: truncation, out-of-range or overlapping sections, or a
-/// section count inconsistent with its byte length.
-[[nodiscard]] std::vector<SectionInfo> validate_and_index(util::BytesView image);
+/// returns the section table in file order. Accepts every version from
+/// kMinReadVersion through kFormatVersion; the file's version is written to
+/// `version_out` when non-null. Throws TraceError on any structural fault:
+/// truncation, out-of-range or overlapping sections, a section count
+/// inconsistent with its byte length, or compression flags in a v1 file.
+[[nodiscard]] std::vector<SectionInfo> validate_and_index(
+    util::BytesView image, std::uint16_t* version_out = nullptr);
 
 /// First section with `id`, or nullptr.
 [[nodiscard]] const SectionInfo* find_section(const std::vector<SectionInfo>& sections,
@@ -73,9 +80,19 @@ inline constexpr std::uint64_t kFnv1aInit = 0xcbf29ce484222325ULL;
 
 /// Streaming decoder over the packets section: one PacketObservation per
 /// next() call, O(1) state. Restartable by constructing a fresh cursor.
+///
+/// Two modes share the decode logic: v1 walks the row-interleaved payload
+/// with a ByteReader; v2 walks six column StreamReaders that decode blocks
+/// on demand through the owning TraceFile's cache — a cursor that stops
+/// early never pays for the blocks past its position. A v2 cursor borrows
+/// the TraceFile's image and block directory and must not outlive it.
 class PacketCursor {
  public:
+  /// v1 row-interleaved payload.
   PacketCursor(util::BytesView payload, std::uint64_t count);
+  /// v2 stream-split payload.
+  PacketCursor(util::BytesView payload, const SectionBlocks& blocks,
+               BlockDirectory& dir, std::uint64_t count);
 
   /// Decodes the next packet into `out`; false when the section is
   /// exhausted. Throws TraceError on malformed input.
@@ -89,6 +106,8 @@ class PacketCursor {
     std::int64_t wire = 0;
   };
   util::ByteReader reader_;
+  std::array<StreamReader, 6> streams_;  ///< v2 columns (unused in v1 mode)
+  bool v2_ = false;
   std::uint64_t left_ = 0;
   std::int64_t prev_time_ns_ = 0;
   std::array<DirState, 2> dirs_{};
@@ -107,8 +126,15 @@ class TraceFile {
   explicit TraceFile(util::Bytes image);
 
   [[nodiscard]] const TraceMeta& meta() const noexcept { return meta_; }
+  /// Format version of the file on disk (1 or 2).
+  [[nodiscard]] std::uint16_t version() const noexcept { return version_; }
   [[nodiscard]] const std::vector<SectionInfo>& sections() const noexcept {
     return sections_;
+  }
+  /// Block directory of one compressed section, nullptr for raw sections
+  /// (every section of a v1 file).
+  [[nodiscard]] const SectionBlocks* section_blocks(Section id) const noexcept {
+    return blocks_ != nullptr ? blocks_->find(id) : nullptr;
   }
   [[nodiscard]] const SectionInfo* section(Section id) const noexcept {
     return find_section(sections_, id);
@@ -142,7 +168,13 @@ class TraceFile {
   util::Bytes owned_;
   util::BytesView image_;
   TraceMeta meta_;
+  std::uint16_t version_ = kFormatVersion;
   std::vector<SectionInfo> sections_;
+  /// v2 decode state (directory + LRU cache + coder model); allocated only
+  /// when the file has compressed sections. Mutable because decoding through
+  /// the cache is a logically-const read. Like the rest of a TraceFile, it
+  /// is single-threaded — corpus workers each open their own TraceFile.
+  mutable std::unique_ptr<BlockDirectory> blocks_;
   mutable std::optional<std::uint64_t> digest_;
 };
 

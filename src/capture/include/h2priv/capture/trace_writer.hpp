@@ -1,10 +1,16 @@
-// Streaming .h2t writer.
+// Streaming .h2t v2 writer.
 //
-// Packets stream to disk through one pooled scratch buffer (flushed at a
-// fixed threshold, so memory stays bounded no matter how long the run is);
-// the smaller sections — TLS records per direction, ground truth, summary —
-// are delta-encoded into side buffers as they arrive and land after the
-// packets section at finish(), followed by the trailer table.
+// Each compressible section is written as per-field column streams (see
+// trace_codec.hpp). Packet columns compress and stream to disk one
+// kBlockBytes block at a time while the run is still executing, so memory
+// stays bounded no matter how long the run is; the smaller sections — TLS
+// records per direction, ground truth, summary — buffer their columns and
+// land after the packets section at finish(), followed by the uncompressed
+// meta and block-index sections and the trailer table.
+//
+// Everything is deterministic: block boundaries depend only on the stream
+// byte counts, so re-encoding the same observations (live capture or a
+// recompress of a v1 file) produces byte-identical output.
 #pragma once
 
 #include <cstdint>
@@ -14,19 +20,14 @@
 
 #include "h2priv/analysis/ground_truth.hpp"
 #include "h2priv/analysis/observation.hpp"
+#include "h2priv/capture/trace_codec.hpp"
 #include "h2priv/capture/trace_format.hpp"
-#include "h2priv/util/buffer_pool.hpp"
 #include "h2priv/util/bytes.hpp"
 
 namespace h2priv::capture {
 
 class TraceWriter {
  public:
-  /// Flush the packet scratch once it reaches this size. Chosen to fit the
-  /// largest BufferPool class so the scratch chunk is pool-recycled, never
-  /// an oversize heap block.
-  static constexpr std::size_t kFlushThreshold = 16 * 1024;
-
   /// Opens `path` and writes the fixed header. Throws TraceError on I/O
   /// failure.
   TraceWriter(const std::string& path, TraceMeta meta);
@@ -43,8 +44,9 @@ class TraceWriter {
   void set_ground_truth(const analysis::GroundTruth& truth);
   void set_summary(const TraceSummary& summary);
 
-  /// Writes the buffered sections and the trailer, closes the file, and
-  /// bumps the capture.* obs counters. Returns total file bytes. Idempotent.
+  /// Writes the buffered sections, the block index, and the trailer, closes
+  /// the file, and bumps the capture.* obs counters. Returns total file
+  /// bytes. Idempotent.
   std::uint64_t finish();
 
   /// Mutable until finish(): fields learned late in a run (the attack
@@ -63,20 +65,24 @@ class TraceWriter {
     std::uint64_t prev_off = 0;
   };
 
-  void flush_packets();
-  /// Appends one trailer-table row and writes the section payload.
+  /// Appends raw bytes to the file, tracking offset_.
+  void write_raw(util::BytesView bytes);
+  /// Appends one trailer-table row and writes an *uncompressed* section
+  /// payload (meta, block index).
   void write_section(Section id, util::BytesView payload, std::uint64_t count);
+  /// Flushes a buffered column set as one compressed section.
+  void emit_compressed(BlockColumnWriter& cols, Section id, std::uint64_t count);
 
   TraceMeta meta_;
   std::ofstream out_;
   std::uint64_t offset_ = 0;  ///< bytes written to the file so far
   bool finished_ = false;
 
-  util::ByteWriter pkt_buf_;        // pooled scratch, flushed while streaming
-  util::ByteWriter rec_buf_c2s_;    // buffered until finish()
-  util::ByteWriter rec_buf_s2c_;
-  util::ByteWriter truth_buf_;
-  util::ByteWriter summary_buf_;
+  BlockColumnWriter pkt_cols_;      // streams to disk while the run executes
+  BlockColumnWriter rec_cols_c2s_;  // buffered until finish()
+  BlockColumnWriter rec_cols_s2c_;
+  BlockColumnWriter truth_cols_;
+  BlockColumnWriter summary_cols_;
 
   std::uint64_t n_packets_ = 0;
   std::uint64_t n_records_c2s_ = 0;
@@ -94,8 +100,10 @@ class TraceWriter {
     std::uint64_t offset;
     std::uint64_t length;
     std::uint64_t count;
+    bool compressed;
   };
   std::vector<SectionEntry> sections_;
+  std::vector<SectionBlocks> index_;  ///< directory entries, section order
 };
 
 }  // namespace h2priv::capture

@@ -112,7 +112,8 @@ std::uint64_t digest_view(util::BytesView data) noexcept {
   return h;
 }
 
-std::vector<SectionInfo> validate_and_index(util::BytesView image) {
+std::vector<SectionInfo> validate_and_index(util::BytesView image,
+                                            std::uint16_t* version_out) {
   const std::size_t min_size = kHeaderBytes + kTrailerTailBytes;
   if (image.size() < min_size) throw TraceError("truncated trace (too small)");
   if (!std::equal(kMagic.begin(), kMagic.end(), image.begin())) {
@@ -121,10 +122,12 @@ std::vector<SectionInfo> validate_and_index(util::BytesView image) {
   util::ByteReader header(image.first(kHeaderBytes));
   header.skip(kMagic.size());
   const std::uint16_t version = header.u16();
-  if (version != kFormatVersion) {
+  if (version < kMinReadVersion || version > kFormatVersion) {
     throw TraceError("unsupported trace version " + std::to_string(version) +
-                     " (expected " + std::to_string(kFormatVersion) + ")");
+                     " (readable: " + std::to_string(kMinReadVersion) + ".." +
+                     std::to_string(kFormatVersion) + ")");
   }
+  if (version_out != nullptr) *version_out = version;
   if (!std::equal(kEndMagic.begin(), kEndMagic.end(),
                   image.end() - static_cast<std::ptrdiff_t>(kEndMagic.size()))) {
     throw TraceError("bad end magic: trace is truncated or corrupt");
@@ -147,17 +150,30 @@ std::vector<SectionInfo> validate_and_index(util::BytesView image) {
   sections.reserve(n_sections);
   for (std::uint32_t i = 0; i < n_sections; ++i) {
     SectionInfo s;
-    s.id = static_cast<Section>(table.u32());
+    const std::uint32_t raw_id = table.u32();
+    s.compressed = (raw_id & kSectionCompressedFlag) != 0;
+    s.id = static_cast<Section>(raw_id & ~kSectionCompressedFlag);
     s.offset = table.u64();
     s.length = table.u64();
     s.count = table.u64();
+    s.raw_length = s.length;  // corrected from the block index when compressed
+    if (s.compressed && version < 2) {
+      throw TraceError("compressed section in a v1 trace");
+    }
+    if (s.compressed && section_stream_count(s.id) == 0) {
+      // kMeta must decode at open and kBlockIndex is the decompression
+      // bootstrap — neither may itself be compressed.
+      throw TraceError("section may not be compressed");
+    }
     // Every payload lives between the header and the trailer table.
     if (s.offset < kHeaderBytes || s.offset > table_offset ||
         table_offset - s.offset < s.length) {
       throw TraceError("section out of range");
     }
+    // Compressed sections re-run this plausibility check in the raw domain
+    // once the block index is decoded (trace_codec.cpp).
     const std::uint64_t min_entry = min_entry_bytes(s.id);
-    if (min_entry != 0 && s.length / min_entry < s.count) {
+    if (!s.compressed && min_entry != 0 && s.length / min_entry < s.count) {
       throw TraceError("section count inconsistent with length");
     }
     sections.push_back(s);
@@ -298,19 +314,43 @@ PacketCursor::PacketCursor(util::BytesView payload, std::uint64_t count)
   }
 }
 
+PacketCursor::PacketCursor(util::BytesView payload, const SectionBlocks& blocks,
+                           BlockDirectory& dir, std::uint64_t count)
+    : reader_(util::BytesView{}), v2_(true), left_(count) {
+  for (std::uint32_t s = 0; s < streams_.size(); ++s) {
+    streams_[s] = StreamReader(payload, blocks, s, dir);
+  }
+}
+
 bool PacketCursor::next(analysis::PacketObservation& out) {
   if (left_ == 0) return false;
   return decode_guard([&] {
-    const std::uint8_t tag = reader_.u8();
+    const std::uint8_t tag = v2_ ? streams_[0].u8() : reader_.u8();
     out.dir = static_cast<net::Direction>(tag >> 7);
     out.flags = static_cast<std::uint8_t>(tag & 0x7f);
     DirState& d = dirs_[static_cast<std::size_t>(out.dir)];
-    out.time.ns = wrapping_add(prev_time_ns_, get_svarint(reader_));
-    out.wire_size = wrapping_add(d.wire, get_svarint(reader_));
-    out.seq = d.seq + static_cast<std::uint64_t>(get_svarint(reader_));
-    out.ack = d.ack + static_cast<std::uint64_t>(get_svarint(reader_));
-    out.payload_len = static_cast<std::size_t>(
-        d.len + static_cast<std::uint64_t>(get_svarint(reader_)));
+    const auto sv = [&](std::size_t s) {
+      return v2_ ? streams_[s].svarint() : get_svarint(reader_);
+    };
+    out.time.ns = wrapping_add(prev_time_ns_, sv(1));
+    if (v2_) {
+      // v2 columns 2-3 are residuals against TCP-structure predictors (see
+      // TraceWriter::add_packet); invert them from already-decoded state.
+      const std::int64_t overhead =
+          wrapping_add(d.wire - static_cast<std::int64_t>(d.len), sv(2));
+      out.seq = d.seq + d.len + static_cast<std::uint64_t>(sv(3));
+      out.ack = d.ack + static_cast<std::uint64_t>(sv(4));
+      out.payload_len =
+          static_cast<std::size_t>(d.len + static_cast<std::uint64_t>(sv(5)));
+      out.wire_size =
+          overhead + static_cast<std::int64_t>(out.payload_len);
+    } else {
+      out.wire_size = wrapping_add(d.wire, sv(2));
+      out.seq = d.seq + static_cast<std::uint64_t>(sv(3));
+      out.ack = d.ack + static_cast<std::uint64_t>(sv(4));
+      out.payload_len =
+          static_cast<std::size_t>(d.len + static_cast<std::uint64_t>(sv(5)));
+    }
     prev_time_ns_ = out.time.ns;
     d.wire = out.wire_size;
     d.seq = out.seq;
@@ -340,7 +380,23 @@ TraceFile::TraceFile(util::Bytes image) : owned_(std::move(image)) {
 }
 
 void TraceFile::index() {
-  sections_ = validate_and_index(image_);
+  sections_ = validate_and_index(image_, &version_);
+  bool any_compressed = false;
+  for (const SectionInfo& s : sections_) any_compressed = any_compressed || s.compressed;
+  if (any_compressed) {
+    const SectionInfo* bi = section(Section::kBlockIndex);
+    if (bi == nullptr) {
+      throw TraceError("compressed sections without a block index");
+    }
+    blocks_ = std::make_unique<BlockDirectory>();
+    blocks_->sections = decode_block_index(section_view(image_, *bi), sections_);
+    for (SectionInfo& s : sections_) {
+      if (!s.compressed) continue;
+      const SectionBlocks* sb = blocks_->find(s.id);
+      s.raw_length = 0;
+      for (const std::uint64_t len : sb->stream_raw_len) s.raw_length += len;
+    }
+  }
   if (const SectionInfo* s = section(Section::kMeta)) {
     meta_ = decode_meta(section_view(image_, *s));
   }
@@ -363,6 +419,9 @@ std::uint64_t TraceFile::packet_count() const noexcept {
 PacketCursor TraceFile::packets() const {
   const SectionInfo* s = section(Section::kPackets);
   if (s == nullptr) return {util::BytesView{}, 0};
+  if (s->compressed) {
+    return {section_view(image_, *s), *blocks_->find(s->id), *blocks_, s->count};
+  }
   return {section_view(image_, *s), s->count};
 }
 
@@ -372,19 +431,56 @@ std::vector<analysis::RecordObservation> TraceFile::records(
                                                             : Section::kRecordsS2C;
   const SectionInfo* s = section(id);
   if (s == nullptr) return {};
-  return decode_records(section_view(image_, *s), s->count, dir);
+  if (!s->compressed) return decode_records(section_view(image_, *s), s->count, dir);
+  const util::BytesView payload = section_view(image_, *s);
+  const SectionBlocks& sb = *blocks_->find(id);
+  return decode_guard([&] {
+    StreamReader type(payload, sb, 0, *blocks_);
+    StreamReader dtime(payload, sb, 1, *blocks_);
+    StreamReader dlen(payload, sb, 2, *blocks_);
+    StreamReader doff(payload, sb, 3, *blocks_);
+    std::vector<analysis::RecordObservation> out;
+    out.reserve(static_cast<std::size_t>(s->count));
+    std::int64_t prev_time_ns = 0;
+    std::uint64_t prev_len = 0, prev_off = 0;
+    for (std::uint64_t i = 0; i < s->count; ++i) {
+      analysis::RecordObservation rec;
+      rec.dir = dir;
+      rec.type = static_cast<tls::ContentType>(type.u8());
+      rec.time.ns = wrapping_add(prev_time_ns, dtime.svarint());
+      rec.ciphertext_len = static_cast<std::size_t>(
+          prev_len + static_cast<std::uint64_t>(dlen.svarint()));
+      // v2 stores the offset residual against the contiguous-records
+      // predictor (see TraceWriter::add_record).
+      rec.stream_offset = prev_off + prev_len + tls::kHeaderBytes +
+                          static_cast<std::uint64_t>(doff.svarint());
+      prev_time_ns = rec.time.ns;
+      prev_len = rec.ciphertext_len;
+      prev_off = rec.stream_offset;
+      out.push_back(rec);
+    }
+    return out;
+  });
 }
 
 analysis::GroundTruth TraceFile::ground_truth() const {
   const SectionInfo* s = section(Section::kGroundTruth);
   if (s == nullptr) throw TraceError("trace has no ground-truth section");
-  return decode_ground_truth(section_view(image_, *s));
+  if (!s->compressed) return decode_ground_truth(section_view(image_, *s));
+  util::Bytes raw;
+  decompress_section(section_view(image_, *s), *blocks_->find(s->id), blocks_->model,
+                     raw);
+  return decode_ground_truth(util::BytesView{raw.data(), raw.size()});
 }
 
 TraceSummary TraceFile::summary() const {
   const SectionInfo* s = section(Section::kSummary);
   if (s == nullptr) throw TraceError("trace has no summary section");
-  return decode_summary(section_view(image_, *s));
+  if (!s->compressed) return decode_summary(section_view(image_, *s));
+  util::Bytes raw;
+  decompress_section(section_view(image_, *s), *blocks_->find(s->id), blocks_->model,
+                     raw);
+  return decode_summary(util::BytesView{raw.data(), raw.size()});
 }
 
 std::uint64_t TraceFile::digest() const {

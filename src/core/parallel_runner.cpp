@@ -99,8 +99,11 @@ std::vector<RunResult> run_many(const RunConfig& config, int n,
       entry.seed = base + i;
       entry.file = capture::trace_filename(entry.seed);
       entry.packets = out[i].monitor_packets;
-      entry.digest =
-          capture::digest_file(config.capture.corpus_dir + "/" + entry.file);
+      const std::string path = config.capture.corpus_dir + "/" + entry.file;
+      entry.digest = capture::digest_file(path);
+      const capture::TraceSizes sizes = capture::trace_sizes(path);
+      entry.raw_bytes = sizes.raw_bytes;
+      entry.stored_bytes = sizes.stored_bytes;
       manifest.entries.push_back(std::move(entry));
     }
     capture::write_manifest(manifest, config.capture.corpus_dir + "/manifest.txt");

@@ -47,9 +47,20 @@ enum class Classifier {
 [[nodiscard]] std::optional<Classifier> classifier_from_name(
     std::string_view name) noexcept;
 
+/// Parses a comma-separated feature-family list ("bursts,gaps,records") into
+/// an analysis::Feature bitmask; nullopt on unknown names or an empty list.
+[[nodiscard]] std::optional<unsigned> features_from_names(
+    std::string_view names) noexcept;
+/// Canonical comma-separated rendering of a feature bitmask (family order
+/// bursts, gaps, records).
+[[nodiscard]] std::string feature_names(unsigned features);
+
 struct ScoreOptions {
   core::Parallelism parallelism{};
   Classifier classifier = Classifier::kNearest;
+  /// Feature families folded into each trace's profile (analysis::Feature
+  /// bits). The default reproduces the classic burst-size profile.
+  unsigned features = analysis::kFeatureBursts;
   /// Neighbourhood size for Classifier::kKnn.
   std::size_t knn_k = 3;
   /// Train/eval split: seeds with seed % train_mod == 0 train the model,
@@ -98,6 +109,7 @@ struct ScoreReport {
   std::string scenario;
   std::uint64_t base_seed = 0;
   Classifier classifier = Classifier::kNone;
+  unsigned features = analysis::kFeatureBursts;
   std::size_t knn_k = 0;
   std::uint64_t train_mod = 0;
   std::vector<TraceScore> traces;  ///< manifest (seed) order

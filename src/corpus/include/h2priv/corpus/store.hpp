@@ -75,4 +75,23 @@ struct Corpus {
 [[nodiscard]] std::string trace_path(const Corpus& corpus,
                                      const capture::ManifestEntry& entry);
 
+struct RecompressStats {
+  std::uint64_t traces = 0;        ///< manifest entries visited
+  std::uint64_t upgraded = 0;      ///< v1 files rewritten as v2
+  std::uint64_t bytes_before = 0;  ///< on-disk trace bytes entering
+  std::uint64_t bytes_after = 0;   ///< on-disk trace bytes leaving
+};
+
+/// Upgrades every v1 trace of the corpus at `dir` to the v2 compressed
+/// format in place: each v1 file is decoded, re-encoded through TraceWriter
+/// (write-to-temp + rename, so a crash never leaves a half-written trace),
+/// and the manifest — root and any shard manifests — is rewritten with the
+/// new digests and byte counts. The v2 writer is deterministic, so the
+/// upgraded bytes are identical to what a live v2 capture of the same seed
+/// would have produced, and re-running recompress is a no-op (v2 files are
+/// left untouched). Traces fan out across `parallelism` workers; the
+/// manifest rewrite is serial and sorted, so output is jobs-invariant.
+RecompressStats recompress_corpus(const std::string& dir,
+                                  core::Parallelism parallelism = {});
+
 }  // namespace h2priv::corpus

@@ -31,6 +31,39 @@ std::optional<Classifier> classifier_from_name(std::string_view name) noexcept {
   return std::nullopt;
 }
 
+std::optional<unsigned> features_from_names(std::string_view names) noexcept {
+  unsigned mask = 0;
+  while (!names.empty()) {
+    const std::size_t comma = names.find(',');
+    const std::string_view name = names.substr(0, comma);
+    if (name == "bursts") {
+      mask |= analysis::kFeatureBursts;
+    } else if (name == "gaps") {
+      mask |= analysis::kFeatureGapHist;
+    } else if (name == "records") {
+      mask |= analysis::kFeatureRecordHist;
+    } else {
+      return std::nullopt;
+    }
+    if (comma == std::string_view::npos) break;
+    names.remove_prefix(comma + 1);
+  }
+  return mask == 0 ? std::nullopt : std::optional<unsigned>{mask};
+}
+
+std::string feature_names(unsigned features) {
+  std::string out;
+  const auto add = [&](const char* name) {
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  if ((features & analysis::kFeatureBursts) != 0) add("bursts");
+  if ((features & analysis::kFeatureGapHist) != 0) add("gaps");
+  if ((features & analysis::kFeatureRecordHist) != 0) add("records");
+  if (out.empty()) out = "none";
+  return out;
+}
+
 namespace {
 
 /// Phase A: score one manifest entry off its mmap'd trace. Everything here
@@ -53,8 +86,9 @@ TraceScore score_one(const Corpus& corpus, const capture::ManifestEntry& entry,
   ts.summary =
       capture::score_with_predictor(trace.meta(), truth, predictor,
                                     trace.packet_count(), capture::count_gets(c2s));
-  ts.profile = analysis::profile_from_bursts(
-      predictor.bursts_after(util::TimePoint{trace.meta().attack_horizon_ns}));
+  ts.profile = analysis::build_feature_profile(
+      options.features,
+      predictor.bursts_after(util::TimePoint{trace.meta().attack_horizon_ns}), s2c);
   ts.true_label = core::party_label(trace.meta().party_order[0]);
 
   if (trace.has_section(capture::Section::kSummary)) {
@@ -171,6 +205,7 @@ ScoreReport score_corpus(const Corpus& corpus, const ScoreOptions& options) {
   report.scenario = corpus.manifest.scenario;
   report.base_seed = corpus.manifest.base_seed;
   report.classifier = options.classifier;
+  report.features = options.features;
   report.knn_k = options.knn_k;
   report.train_mod = options.train_mod;
 
@@ -233,6 +268,7 @@ std::string format_report(const ScoreReport& report) {
   os << "classifier " << classifier_name(report.classifier);
   if (report.classifier == Classifier::kKnn) os << " k=" << report.knn_k;
   os << " train_mod=" << report.train_mod << "\n";
+  os << "features " << feature_names(report.features) << "\n";
   os << "total_file_bytes " << report.total_file_bytes << "\n";
   os << "total_packets " << report.total_packets << "\n";
   os << "total_gets " << report.total_gets << "\n";

@@ -1,9 +1,13 @@
 #include "h2priv/corpus/store.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <map>
 
 #include "h2priv/capture/trace_format.hpp"
+#include "h2priv/capture/trace_reader.hpp"
+#include "h2priv/capture/trace_view.hpp"
+#include "h2priv/capture/trace_writer.hpp"
 #include "h2priv/obs/metrics.hpp"
 
 namespace h2priv::corpus {
@@ -98,6 +102,96 @@ Corpus load_corpus(const std::string& dir) {
 
 std::string trace_path(const Corpus& corpus, const capture::ManifestEntry& entry) {
   return corpus.dir + "/" + entry.file;
+}
+
+namespace {
+
+/// Re-encodes one v1 trace through the v2 writer, write-to-temp + rename.
+/// The writer is fed observations in the same per-direction order a live
+/// capture produces, so the output is byte-identical to a native v2 trace
+/// of the same run.
+void rewrite_trace(const std::string& path) {
+  const capture::TraceReader reader = capture::TraceReader::open(path);
+  const std::string tmp = path + ".recompress.tmp";
+  capture::TraceWriter writer(tmp, reader.meta());
+  for (const analysis::PacketObservation& p : reader.packets()) {
+    writer.add_packet(p);
+  }
+  for (const net::Direction dir :
+       {net::Direction::kClientToServer, net::Direction::kServerToClient}) {
+    for (const analysis::RecordObservation& r : reader.records(dir)) {
+      writer.add_record(r);
+    }
+  }
+  if (reader.has_ground_truth()) writer.set_ground_truth(reader.ground_truth());
+  if (reader.has_summary()) writer.set_summary(reader.summary());
+  writer.finish();
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace
+
+RecompressStats recompress_corpus(const std::string& dir,
+                                  core::Parallelism parallelism) {
+  Corpus corpus = load_corpus(dir);
+  const int n = static_cast<int>(corpus.manifest.entries.size());
+  RecompressStats stats;
+  stats.traces = static_cast<std::uint64_t>(n);
+
+  // Phase A (parallel): each entry owns its file and its manifest slot, so
+  // workers never contend; per-entry outcomes land at the manifest index.
+  std::vector<std::uint8_t> upgraded(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint64_t> before(static_cast<std::size_t>(n), 0);
+  core::parallel_for(n, parallelism, [&](int i) {
+    const auto at = static_cast<std::size_t>(i);
+    capture::ManifestEntry& entry = corpus.manifest.entries[at];
+    const std::string path = trace_path(corpus, entry);
+    std::uint16_t version = 0;
+    {
+      const capture::TraceFile trace = capture::TraceFile::open(path);
+      before[at] = trace.file_size();
+      version = trace.version();
+    }
+    if (version < capture::kFormatVersion) {
+      rewrite_trace(path);
+      upgraded[at] = 1;
+    }
+    entry.digest = capture::digest_file(path);
+    const capture::TraceSizes sizes = capture::trace_sizes(path);
+    entry.raw_bytes = sizes.raw_bytes;
+    entry.stored_bytes = sizes.stored_bytes;
+  });
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+    stats.upgraded += upgraded[i];
+    stats.bytes_before += before[i];
+    stats.bytes_after += corpus.manifest.entries[i].stored_bytes;
+  }
+
+  // Phase B (serial): rewrite the manifests with the new digests and byte
+  // counts — any shard manifests first, then the root.
+  std::map<std::string, std::vector<const capture::ManifestEntry*>> by_shard;
+  for (const capture::ManifestEntry& entry : corpus.manifest.entries) {
+    const std::size_t slash = entry.file.find('/');
+    if (slash != std::string::npos) {
+      by_shard[entry.file.substr(0, slash)].push_back(&entry);
+    }
+  }
+  for (const auto& [shard, entries] : by_shard) {
+    const std::string manifest_path = dir + "/" + shard + "/manifest.txt";
+    capture::Manifest shard_manifest = capture::read_manifest(manifest_path);
+    std::map<std::uint64_t, const capture::ManifestEntry*> by_seed;
+    for (const capture::ManifestEntry* e : entries) by_seed.emplace(e->seed, e);
+    for (capture::ManifestEntry& e : shard_manifest.entries) {
+      const auto it = by_seed.find(e.seed);
+      if (it == by_seed.end()) continue;
+      e.digest = it->second->digest;
+      e.raw_bytes = it->second->raw_bytes;
+      e.stored_bytes = it->second->stored_bytes;
+    }
+    capture::write_manifest(shard_manifest, manifest_path);
+  }
+  capture::write_manifest(corpus.manifest, dir + "/manifest.txt");
+  return stats;
 }
 
 }  // namespace h2priv::corpus

@@ -54,6 +54,11 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
     "capture.raw_bytes",
     "capture.traces_read",
     "capture.bytes_read",
+    "codec.blocks_encoded",
+    "codec.blocks_stored",
+    "codec.blocks_decoded",
+    "codec.cache_hits",
+    "codec.cache_misses",
     "corpus.shards_written",
     "corpus.manifests_merged",
     "corpus.traces_scored",

@@ -89,6 +89,12 @@ enum class Counter : std::uint16_t {
   kCaptureRawBytes,
   kCaptureTracesRead,
   kCaptureBytesRead,
+  // codec: .h2t v2 block compression (cache hits/misses = decode locality)
+  kCodecBlocksEncoded,
+  kCodecBlocksStored,
+  kCodecBlocksDecoded,
+  kCodecCacheHits,
+  kCodecCacheMisses,
   // corpus: sharded .h2t store + offline scoring pipeline
   kCorpusShardsWritten,
   kCorpusManifestsMerged,

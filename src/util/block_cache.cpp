@@ -1,0 +1,42 @@
+#include "h2priv/util/block_cache.hpp"
+
+#include "h2priv/obs/metrics.hpp"
+
+namespace h2priv::util {
+
+const std::uint32_t* BlockCache::find(BlockKey key) noexcept {
+  for (std::uint32_t i = 0; i < kSlots; ++i) {
+    Slot& slot = slots_[i];
+    if (slot.live && slot.key == key) {
+      slot.last_used = ++tick_;
+      obs::count(obs::Counter::kCodecCacheHits);
+      found_ = i;
+      return &found_;
+    }
+  }
+  obs::count(obs::Counter::kCodecCacheMisses);
+  return nullptr;
+}
+
+std::uint32_t BlockCache::evict() {
+  std::uint32_t victim = kSlots;
+  for (std::uint32_t i = 0; i < kSlots; ++i) {
+    const Slot& slot = slots_[i];
+    if (slot.pins > 0) continue;
+    if (!slot.live) {
+      victim = i;
+      break;
+    }
+    if (victim == kSlots || slot.last_used < slots_[victim].last_used) victim = i;
+  }
+  if (victim == kSlots) {
+    // Unreachable with the repo's readers (see kSlots); a safety net against
+    // a future caller leaking pins rather than silently dangling a view.
+    throw std::runtime_error("block cache: all slots pinned");
+  }
+  slots_[victim].live = false;
+  slots_[victim].last_used = ++tick_;
+  return victim;
+}
+
+}  // namespace h2priv::util

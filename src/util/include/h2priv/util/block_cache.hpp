@@ -1,0 +1,97 @@
+// Fixed-capacity LRU cache of decoded .h2t v2 blocks.
+//
+// A TraceFile owns one BlockCache; every StreamReader walking the file's
+// compressed sections pulls decoded blocks through it. Capacity is a handful
+// of 64 KiB slots (~1 MiB), which covers the working set of a packet cursor
+// plus a records pass with zero churn. Slots are recycled in place — the
+// steady-state hot path performs no allocation: a hit returns a view into
+// the slot, a miss re-fills the evicted slot's existing buffer.
+//
+// Readers *pin* the slot backing their current block so that sibling
+// streams advancing through the cache can never evict (and dangle) a view
+// that is still being consumed. Pins are counted; eviction only considers
+// unpinned slots.
+//
+// Single-threaded by design, like the TraceFile that owns it: corpus workers
+// each open their own TraceFile, so no locks and no sharing.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "h2priv/util/bytes.hpp"
+
+namespace h2priv::util {
+
+/// Identifies one decoded block: the stream it belongs to (section id and
+/// per-section stream index packed by the caller) and the block's raw
+/// offset within that stream.
+struct BlockKey {
+  std::uint32_t stream = 0;
+  std::uint64_t block = 0;
+
+  [[nodiscard]] bool operator==(const BlockKey&) const noexcept = default;
+};
+
+class BlockCache {
+ public:
+  /// 16 slots of up-to-block-size bytes — ~1 MiB at the 64 KiB block size.
+  /// Comfortably above the maximum simultaneous pins (6 packet streams +
+  /// 4 record streams across two live cursors).
+  static constexpr std::uint32_t kSlots = 16;
+
+  struct Ref {
+    BytesView view;
+    std::uint32_t slot = 0;
+  };
+
+  /// Returns the decoded block for `key` and the slot backing it. On a
+  /// miss, invokes `fill(buffer)` to decode into the least-recently-used
+  /// unpinned slot's reused buffer. The view is valid until the slot is
+  /// evicted — pin() it to consume it across further lookups.
+  template <typename Fill>
+  [[nodiscard]] Ref get(BlockKey key, Fill&& fill) {
+    if (const std::uint32_t* hit = find(key)) {
+      const Slot& s = slots_[*hit];
+      return {{s.data.data(), s.data.size()}, *hit};
+    }
+    const std::uint32_t idx = evict();
+    Slot& slot = slots_[idx];
+    slot.data.clear();
+    fill(slot.data);
+    slot.key = key;
+    slot.live = true;
+    return {{slot.data.data(), slot.data.size()}, idx};
+  }
+
+  /// Protects `slot` from eviction until the matching unpin(). Counted, so
+  /// two readers on the same block each hold their own pin.
+  void pin(std::uint32_t slot) noexcept { ++slots_[slot].pins; }
+  void unpin(std::uint32_t slot) noexcept {
+    if (slots_[slot].pins > 0) --slots_[slot].pins;
+  }
+
+  /// Drops every cached block (keeps slot storage for reuse). Pins must all
+  /// be released first.
+  void clear() noexcept {
+    for (Slot& slot : slots_) slot.live = false;
+  }
+
+ private:
+  struct Slot {
+    BlockKey key;
+    Bytes data;
+    std::uint64_t last_used = 0;
+    std::uint32_t pins = 0;
+    bool live = false;
+  };
+
+  const std::uint32_t* find(BlockKey key) noexcept;
+  std::uint32_t evict();
+
+  Slot slots_[kSlots];
+  std::uint64_t tick_ = 0;
+  std::uint32_t found_ = 0;  ///< storage for find()'s returned index
+};
+
+}  // namespace h2priv::util

@@ -338,13 +338,23 @@ TEST_F(TraceCorruption, RejectsBadMagic) {
 
 TEST_F(TraceCorruption, RejectsVersionMismatch) {
   util::Bytes bad = image_;
-  bad[9] = 2;  // version u16 lives at bytes [8,9], big-endian
+  bad[9] = capture::kFormatVersion + 1;  // version u16 lives at bytes [8,9]
   try {
     TraceReader reader{bad};
-    FAIL() << "version 2 accepted";
+    FAIL() << "future version accepted";
   } catch (const TraceError& e) {
     EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
   }
+  bad[9] = 0;  // below kMinReadVersion
+  EXPECT_THROW(TraceReader{bad}, TraceError);
+}
+
+TEST_F(TraceCorruption, RejectsCompressedSectionsInV1Header) {
+  // Rewriting the header version to 1 leaves the trailer's compressed flags
+  // in place — a combination no writer produces and v1 readers can't decode.
+  util::Bytes bad = image_;
+  bad[9] = 1;
+  EXPECT_THROW(TraceReader{bad}, TraceError);
 }
 
 TEST_F(TraceCorruption, RejectsBadEndMagic) {

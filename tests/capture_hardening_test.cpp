@@ -63,12 +63,30 @@ void put_u32be(util::Bytes& image, std::size_t at, std::uint32_t v) {
   return v;
 }
 
+[[nodiscard]] std::uint32_t get_u32be(const util::Bytes& image, std::size_t at) {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) v = (v << 8) | image[at + i];
+  return v;
+}
+
 /// Byte offset of trailer-table entry `i` (28 bytes per entry; the entry's
 /// offset/length/count u64s sit at +4/+12/+20).
 [[nodiscard]] std::size_t entry_at(const util::Bytes& image, std::size_t i) {
   const std::size_t table =
       static_cast<std::size_t>(get_u64be(image, image.size() - 16));
   return table + i * kSectionEntryBytes;
+}
+
+/// Trailer-table index of section `id` (v2 compressed flag masked off).
+[[nodiscard]] std::size_t entry_for(const util::Bytes& image, Section id) {
+  const auto n = static_cast<std::size_t>(
+      get_u32be(image, image.size() - kTrailerTailBytes));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t raw = get_u32be(image, entry_at(image, i));
+    if ((raw & ~kSectionCompressedFlag) == static_cast<std::uint32_t>(id)) return i;
+  }
+  ADD_FAILURE() << "section " << static_cast<int>(id) << " not in trailer";
+  return 0;
 }
 
 /// A hostile image must be rejected with TraceError by both reader paths;
@@ -241,6 +259,114 @@ TEST_F(TraceHardening, FuzzedImagesNeverEscapeTraceError) {
       ++rejected;
     }
     // Any other exception type propagates and fails the test.
+  }
+  EXPECT_GT(rejected, 0);
+  SUCCEED() << parsed << " parsed, " << rejected << " rejected";
+}
+
+// --- v2 hostile compressed inputs -------------------------------------------
+// The fixture image is a v2 trace: packets/records/truth/summary are
+// block-compressed and described by the block-index section. Structural lies
+// about the compressed layout must fail closed with TraceError before any
+// decoder trusts a length.
+
+TEST_F(TraceHardening, CompressedFlagOnRowlessSectionsIsRejected) {
+  // Meta and the block index itself have no column layout; a compressed flag
+  // on either is a forgery no writer produces.
+  for (const Section id : {Section::kMeta, Section::kBlockIndex}) {
+    util::Bytes bad = image_;
+    const std::size_t at = entry_at(bad, entry_for(bad, id));
+    put_u32be(bad, at, get_u32be(bad, at) | kSectionCompressedFlag);
+    expect_rejected(bad, "compressed flag on row-less section");
+  }
+}
+
+TEST_F(TraceHardening, CompressedSectionLengthLieIsRejected) {
+  // Shrinking the declared on-disk length truncates the final block: the
+  // per-block compressed lengths in the index no longer sum to the section
+  // length, so validation must refuse before any block is ranged-decoded.
+  util::Bytes bad = image_;
+  const std::size_t at = entry_at(bad, entry_for(bad, Section::kPackets));
+  const std::uint64_t len = get_u64be(bad, at + 12);
+  ASSERT_GT(len, 1u);
+  put_u64be(bad, at + 12, len - 1);
+  expect_rejected(bad, "truncated compressed section");
+}
+
+TEST_F(TraceHardening, CompressedSectionCountLieIsRejected) {
+  // The index pins stream 0 of a packets/records section to exactly `count`
+  // raw bytes (one tag/type byte per row); a trailer count that disagrees
+  // with the compressed layout is a declared-size lie.
+  for (const std::uint64_t lie : {std::uint64_t{39}, std::uint64_t{41},
+                                  std::uint64_t{1} << 40}) {
+    util::Bytes bad = image_;
+    const std::size_t at = entry_at(bad, entry_for(bad, Section::kPackets));
+    put_u64be(bad, at + 20, lie);
+    expect_rejected(bad, "count disagrees with block index");
+  }
+}
+
+TEST_F(TraceHardening, CompressedFlagStrippedLeavesOrphanIndexEntry) {
+  // Clearing the flag turns the coded payload into a claimed row-interleaved
+  // v1 section while its block-index entry still exists — the cross-check
+  // between trailer flags and index entries must catch the mismatch.
+  util::Bytes bad = image_;
+  const std::size_t at = entry_at(bad, entry_for(bad, Section::kPackets));
+  put_u32be(bad, at, get_u32be(bad, at) & ~kSectionCompressedFlag);
+  expect_rejected(bad, "orphan block-index entry");
+}
+
+TEST_F(TraceHardening, FuzzedBlockIndexNeverEscapesTraceError) {
+  // Byte flips inside the block-index payload hit varint lengths, stream
+  // counts and per-block sizes; every mutation must either still validate
+  // end-to-end or raise TraceError — never a raw std::exception or a crash.
+  const std::size_t at = entry_at(image_, entry_for(image_, Section::kBlockIndex));
+  const auto idx_off = static_cast<std::size_t>(get_u64be(image_, at + 4));
+  const auto idx_len = static_cast<std::size_t>(get_u64be(image_, at + 12));
+  ASSERT_GT(idx_len, 0u);
+  sim::Rng rng(171717);
+  int parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    util::Bytes bad = image_;
+    const int flips = static_cast<int>(rng.uniform_int(1, 3));
+    for (int i = 0; i < flips; ++i) {
+      const auto rel = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(idx_len) - 1));
+      bad[idx_off + rel] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    }
+    try {
+      const TraceReader reader{bad};
+      ++parsed;
+    } catch (const TraceError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  SUCCEED() << parsed << " parsed, " << rejected << " rejected";
+}
+
+TEST_F(TraceHardening, CorruptedCompressedPayloadNeverEscapesTraceError) {
+  // Flips inside the coded packet blocks themselves: the range decoder either
+  // consumes a different byte count than the block declares (rejected), or
+  // decodes garbage columns that fail the varint/row decoders — both must
+  // surface as TraceError.
+  const std::size_t at = entry_at(image_, entry_for(image_, Section::kPackets));
+  const auto off = static_cast<std::size_t>(get_u64be(image_, at + 4));
+  const auto len = static_cast<std::size_t>(get_u64be(image_, at + 12));
+  ASSERT_GT(len, 0u);
+  sim::Rng rng(292929);
+  int parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    util::Bytes bad = image_;
+    const auto rel = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(len) - 1));
+    bad[off + rel] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    try {
+      const TraceReader reader{bad};
+      ++parsed;
+    } catch (const TraceError&) {
+      ++rejected;
+    }
   }
   EXPECT_GT(rejected, 0);
   SUCCEED() << parsed << " parsed, " << rejected << " rejected";

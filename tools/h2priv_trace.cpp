@@ -44,7 +44,9 @@ int usage() {
       "  export-pcap FILE.h2t OUT.pcap\n"
       "  replay (FILE.h2t | --corpus DIR)\n"
       "  score --corpus DIR [--jobs N] [--classifier none|nearest|knn|centroid]\n"
-      "        [--k N] [--train-mod N] [--replay-verify] [--out FILE]\n"
+      "        [--features bursts,gaps,records] [--k N] [--train-mod N]\n"
+      "        [--replay-verify] [--out FILE]\n"
+      "  recompress --corpus DIR [--jobs N]\n"
       "  digest (FILE.h2t... | --corpus DIR)\n");
   return 2;
 }
@@ -163,6 +165,13 @@ int cmd_score(const std::vector<std::string>& args) {
         return 2;
       }
       options.classifier = *parsed;
+    } else if (a == "--features" && has_next) {
+      const auto parsed = corpus::features_from_names(args[++i]);
+      if (!parsed) {
+        std::fprintf(stderr, "score: bad feature list %s\n", args[i].c_str());
+        return 2;
+      }
+      options.features = *parsed;
     } else if (a == "--k" && has_next) {
       options.knn_k = static_cast<std::size_t>(std::atoi(args[++i].c_str()));
     } else if (a == "--train-mod" && has_next) {
@@ -254,6 +263,7 @@ int cmd_inspect(const std::vector<std::string>& args) {
   for (const int p : meta.party_order) std::printf("%d ", p + 1);
   std::printf("\n");
   std::printf("sections:\n");
+  std::uint64_t total_stored = 0, total_raw = 0;
   for (const capture::TraceReader::SectionInfo& s : trace.sections()) {
     const char* name = "?";
     switch (s.id) {
@@ -263,11 +273,33 @@ int cmd_inspect(const std::vector<std::string>& args) {
       case capture::Section::kRecordsS2C: name = "records_s2c"; break;
       case capture::Section::kGroundTruth: name = "ground_truth"; break;
       case capture::Section::kSummary: name = "summary"; break;
+      case capture::Section::kBlockIndex: name = "block_index"; break;
     }
-    std::printf("  %-12s offset=%-8llu length=%-8llu count=%llu\n", name,
-                static_cast<unsigned long long>(s.offset),
-                static_cast<unsigned long long>(s.length),
-                static_cast<unsigned long long>(s.count));
+    total_stored += s.length;
+    total_raw += s.raw_length;
+    if (s.compressed) {
+      std::printf(
+          "  %-12s offset=%-8llu stored=%-8llu raw=%-8llu ratio=%.2fx count=%llu\n",
+          name, static_cast<unsigned long long>(s.offset),
+          static_cast<unsigned long long>(s.length),
+          static_cast<unsigned long long>(s.raw_length),
+          s.length > 0 ? static_cast<double>(s.raw_length) / static_cast<double>(s.length)
+                       : 0.0,
+          static_cast<unsigned long long>(s.count));
+    } else {
+      std::printf("  %-12s offset=%-8llu length=%-8llu count=%llu\n", name,
+                  static_cast<unsigned long long>(s.offset),
+                  static_cast<unsigned long long>(s.length),
+                  static_cast<unsigned long long>(s.count));
+    }
+  }
+  if (total_raw > total_stored) {
+    std::printf("compression: stored=%llu raw=%llu ratio=%.2fx\n",
+                static_cast<unsigned long long>(total_stored),
+                static_cast<unsigned long long>(total_raw),
+                total_stored > 0
+                    ? static_cast<double>(total_raw) / static_cast<double>(total_stored)
+                    : 0.0);
   }
   if (trace.has_summary()) print_summary(trace.summary(), "stored verdict:");
   return 0;
@@ -321,6 +353,40 @@ int cmd_replay(const std::vector<std::string>& args) {
   return replay_one(args[0], /*print=*/true);
 }
 
+int cmd_recompress(const std::vector<std::string>& args) {
+  std::string dir;
+  int jobs = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const bool has_next = i + 1 < args.size();
+    if (a == "--corpus" && has_next) {
+      dir = args[++i];
+    } else if (a == "--jobs" && has_next) {
+      jobs = std::atoi(args[++i].c_str());
+    } else {
+      std::fprintf(stderr, "recompress: bad argument %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "recompress: --corpus DIR required\n");
+    return 2;
+  }
+  const corpus::RecompressStats stats =
+      corpus::recompress_corpus(dir, core::Parallelism{jobs});
+  std::printf("recompressed %s: %llu traces, %llu upgraded, %llu -> %llu bytes",
+              dir.c_str(), static_cast<unsigned long long>(stats.traces),
+              static_cast<unsigned long long>(stats.upgraded),
+              static_cast<unsigned long long>(stats.bytes_before),
+              static_cast<unsigned long long>(stats.bytes_after));
+  if (stats.bytes_after > 0 && stats.bytes_before >= stats.bytes_after) {
+    std::printf(" (%.2fx)", static_cast<double>(stats.bytes_before) /
+                                static_cast<double>(stats.bytes_after));
+  }
+  std::printf("\n");
+  return 0;
+}
+
 int cmd_digest(const std::vector<std::string>& args) {
   if (args.size() == 2 && args[0] == "--corpus") {
     const capture::Manifest manifest =
@@ -356,6 +422,7 @@ int main(int argc, char** argv) {
     if (cmd == "export-pcap") return cmd_export_pcap(args);
     if (cmd == "replay") return cmd_replay(args);
     if (cmd == "score") return cmd_score(args);
+    if (cmd == "recompress") return cmd_recompress(args);
     if (cmd == "digest") return cmd_digest(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "h2priv_trace: %s\n", e.what());

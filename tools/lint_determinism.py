@@ -71,6 +71,9 @@ SIM_CRITICAL = (
     # corpus builds sharded stores and --jobs-invariant scoring reports whose
     # byte-identity is CI-enforced with cmp.
     "src/corpus",
+    # util hosts the .h2t v2 entropy coder and block cache: compressed trace
+    # bytes (and therefore corpus digests) are a pure function of this code.
+    "src/util",
 )
 ALL_SRC = ("src",)
 THREAD_LOCAL_EXEMPT = ("src/util", "src/obs")
