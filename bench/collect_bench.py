@@ -59,6 +59,7 @@ BENCHES = [
     ("bench_replay", ["8", "--jobs", "2"], ["4", "--jobs", "2"]),
     ("bench_corpus_score", ["12", "--jobs", "2"], ["6", "--jobs", "2"]),
     ("bench_codec", ["8", "--jobs", "2"], ["4", "--jobs", "2"]),
+    ("bench_defense_grid", ["12", "--jobs", "2"], ["6", "--jobs", "2"]),
 ]
 
 BENCH_MARKER = "BENCH_JSON "

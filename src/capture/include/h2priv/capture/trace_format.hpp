@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "h2priv/defense/defense.hpp"
 #include "h2priv/util/units.hpp"
 #include "h2priv/web/isidewith.hpp"
 
@@ -108,6 +109,10 @@ struct TraceMeta {
   std::int64_t attack_horizon_ns = 0;
   /// The survey result: party index by display position (ground truth).
   std::array<int, web::kPartyCount> party_order{};
+  /// Defense knobs the run was generated under (src/defense). Encoded in the
+  /// meta section only when enabled() — undefended traces stay byte-identical
+  /// to pre-defense writers.
+  defense::DefenseConfig defense{};
 };
 
 /// One object's scored outcome as stored in the kSummary section — the live

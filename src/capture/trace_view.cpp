@@ -230,6 +230,20 @@ TraceMeta decode_meta(util::BytesView payload) {
     for (int& party : meta.party_order) {
       party = static_cast<int>(get_svarint(r));
     }
+    if ((flags & 0x20) != 0) {
+      defense::DefenseConfig& d = meta.defense;
+      const std::uint8_t policy = r.u8();
+      if (policy > static_cast<std::uint8_t>(defense::PaddingPolicy::kPadToBucket)) {
+        throw TraceError("invalid padding policy in defense block");
+      }
+      d.padding = static_cast<defense::PaddingPolicy>(policy);
+      d.pad_bucket = static_cast<std::size_t>(get_varint(r));
+      d.pad_random_max = static_cast<std::uint8_t>(get_varint(r));
+      d.record_bucket = static_cast<std::size_t>(get_varint(r));
+      d.shape_interval.ns = get_svarint(r);
+      d.shape_rate.bits_per_sec = get_svarint(r);
+      d.randomize_priority = r.u8() != 0;
+    }
     return meta;
   });
 }

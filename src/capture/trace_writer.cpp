@@ -205,12 +205,25 @@ std::uint64_t TraceWriter::finish() {
   if (meta_.push_emblems) flags |= 0x04;
   if (meta_.manual_spacing_ns.has_value()) flags |= 0x08;
   if (meta_.manual_bandwidth_bps.has_value()) flags |= 0x10;
+  if (meta_.defense.enabled()) flags |= 0x20;
   meta_buf.u8(flags);
   if (meta_.manual_spacing_ns) put_svarint(meta_buf, *meta_.manual_spacing_ns);
   if (meta_.manual_bandwidth_bps) put_svarint(meta_buf, *meta_.manual_bandwidth_bps);
   put_svarint(meta_buf, meta_.deadline_ns);
   put_svarint(meta_buf, meta_.attack_horizon_ns);
   for (const int party : meta_.party_order) put_svarint(meta_buf, party);
+  if (meta_.defense.enabled()) {
+    // Defense block (flag 0x20): appended after party_order so undefended
+    // traces keep the exact pre-defense meta byte layout.
+    const defense::DefenseConfig& d = meta_.defense;
+    meta_buf.u8(static_cast<std::uint8_t>(d.padding));
+    put_varint(meta_buf, d.pad_bucket);
+    put_varint(meta_buf, d.pad_random_max);
+    put_varint(meta_buf, d.record_bucket);
+    put_svarint(meta_buf, d.shape_interval.ns);
+    put_svarint(meta_buf, d.shape_rate.bits_per_sec);
+    meta_buf.u8(d.randomize_priority ? 1 : 0);
+  }
   write_section(Section::kMeta, meta_buf.view(), 1);
 
   emit_compressed(rec_cols_c2s_, Section::kRecordsC2S, n_records_c2s_);

@@ -117,6 +117,14 @@ RunResult run_once(const RunConfig& config) {
   tls::Session client_tls(tls::Role::kClient, session_secret, client_tcp);
   tls::Session server_tls(tls::Role::kServer, session_secret, server_tcp);
 
+  // Record quantization (src/defense): the server seals bucket-padded
+  // application records; the client must strip the authenticated filler.
+  const defense::DefenseConfig& defense_cfg = config.server.defense;
+  if (defense_cfg.record_bucket > 0) {
+    server_tls.set_send_record_bucket(defense_cfg.record_bucket);
+    client_tls.set_recv_record_unpad(true);
+  }
+
   auto truth = std::make_shared<analysis::GroundTruth>();
   server::ServerConfig server_cfg = config.server;
   if (config.push_emblems) {
@@ -161,6 +169,7 @@ RunResult run_once(const RunConfig& config) {
     }
     meta.deadline_ns = config.deadline.ns;
     meta.party_order = plan.party_order;
+    meta.defense = defense_cfg;
     trace_writer = std::make_unique<capture::TraceWriter>(trace_path, std::move(meta));
     monitor.on_packet_observed = [&](const analysis::PacketObservation& obs) {
       trace_writer->add_packet(obs);

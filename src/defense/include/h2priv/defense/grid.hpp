@@ -1,0 +1,107 @@
+// Attack x defense evaluation grid (DESIGN.md §11).
+//
+// One grid run sweeps a set of defense presets (rows) against a set of
+// attack configurations (columns) over freshly generated trace corpora —
+// one corpus per defense, same seeds, same scenario — and reports, per
+// cell, the adversary's recovery rate, and per row, what the defense cost:
+// bandwidth overhead against the undefended baseline row, added page-load
+// latency, and the damage to the adversary's size estimates.
+//
+// Determinism contract: everything in the report is either an integer fold
+// in manifest order or a fixed-precision rendering of such folds, so two
+// grid runs of the same build are byte-identical at any --jobs count —
+// `cmp` of two reports is the CI smoke gate (h2priv_trace grid --gate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "h2priv/core/parallel_runner.hpp"
+#include "h2priv/corpus/score.hpp"
+#include "h2priv/defense/defense.hpp"
+
+namespace h2priv::defense {
+
+/// One attack column: a size-fingerprint pipeline configuration. The
+/// "catalog" attack (corpus::Classifier::kNone) is the paper's live
+/// predictor — catalog matching of post-horizon bursts; the others train on
+/// the defended corpus itself (a worst-case adversary that adapts).
+struct GridAttack {
+  std::string name;
+  corpus::Classifier classifier = corpus::Classifier::kNone;
+  unsigned features = analysis::kFeatureBursts;
+  std::size_t knn_k = 3;
+};
+
+/// The default three-column panel: catalog matching, k-NN on burst
+/// profiles, centroids on record-size profiles.
+[[nodiscard]] std::vector<GridAttack> default_grid_attacks();
+
+struct GridOptions {
+  /// Working directory: one corpus subdirectory per defense row is
+  /// (re)generated under it.
+  std::string root;
+  std::string scenario = "table2";
+  std::uint64_t base_seed = 1;
+  int runs = 20;
+  /// Defense preset names (grid rows); empty = every preset.
+  std::vector<std::string> defenses;
+  /// Attack columns; empty = default_grid_attacks().
+  std::vector<GridAttack> attacks;
+  /// Train/eval split for the trained classifiers (corpus::ScoreOptions).
+  std::uint64_t train_mod = 2;
+  core::Parallelism parallelism{};
+};
+
+/// One (defense, attack) cell: integer success counts plus their ratio.
+struct GridCell {
+  std::string attack;
+  std::uint64_t successes = 0;
+  std::uint64_t total = 0;
+  double recovery = 0.0;  ///< successes / total (0 when total is 0)
+};
+
+/// One defense row: costs vs the baseline row plus every attack cell.
+struct DefenseRow {
+  std::string defense;
+  DefenseConfig config{};
+  int traces = 0;
+  std::uint64_t wire_bytes = 0;    ///< sum of packet wire sizes, all traces
+  /// Bytes the defense itself injected (DATA pad + record fill), from the
+  /// obs counters — exact and independent of run dynamics, unlike a wire
+  /// delta (attack-coupled retransmission noise can swamp small pads).
+  std::uint64_t pad_bytes = 0;
+  double overhead_pct = 0.0;       ///< pad_bytes over the unpadded volume
+  double page_load_ms = 0.0;       ///< mean page-load time, completed runs
+  double added_latency_ms = 0.0;   ///< page_load_ms delta vs the "none" row
+  double size_error_pct = 0.0;     ///< mean burst-estimate distance to catalog
+  std::vector<GridCell> cells;     ///< one per attack column
+  double mean_recovery = 0.0;      ///< mean over cells
+};
+
+struct GridReport {
+  std::string scenario;
+  std::uint64_t base_seed = 0;
+  int runs = 0;
+  std::uint64_t train_mod = 0;
+  std::vector<std::string> attacks;  ///< column order
+  std::vector<DefenseRow> rows;      ///< option order
+};
+
+/// Generates the per-defense corpora and scores every cell. Throws
+/// capture::TraceError / std::invalid_argument on unknown names.
+[[nodiscard]] GridReport run_grid(const GridOptions& options);
+
+/// Deterministic plain-text rendering ("h2t-defense-grid v1").
+[[nodiscard]] std::string format_grid_report(const GridReport& report);
+
+/// Sanity invariants for CI gating; returns human-readable violations
+/// (empty = pass):
+///  - every size-inflating row (padding or record quantization) must report
+///    nonzero injected pad bytes (bandwidth overhead);
+///  - no defended cell may recover more than the undefended baseline cell
+///    of the same attack column.
+[[nodiscard]] std::vector<std::string> check_grid_invariants(const GridReport& report);
+
+}  // namespace h2priv::defense

@@ -70,13 +70,14 @@ void Connection::start() {
 }
 
 WireSpan Connection::write_data(std::uint32_t stream_id, util::BytesView payload,
-                                bool end_stream) {
+                                bool end_stream, std::uint8_t pad_length) {
   frame_scratch_.clear();
-  encode_data_into(frame_scratch_, stream_id, payload, end_stream, 0);
+  encode_data_into(frame_scratch_, stream_id, payload, end_stream, pad_length);
   const WireSpan span = out_(frame_scratch_.view());
   ++stats_.frames_sent;
   obs::count(obs::Counter::kH2DataSent);
   obs::count(obs::Counter::kH2DataBytesSent, payload.size());
+  if (pad_length > 0) obs::count(obs::Counter::kH2PadBytesSent, pad_length);
   if (on_frame_sent) on_frame_sent(stream_id, FrameType::kData, span);
   return span;
 }
@@ -212,27 +213,39 @@ void Connection::send_data(std::uint32_t stream_id, util::BytesView data,
 }
 
 void Connection::flush_stream_pending(Stream& s) {
-  const std::uint32_t max_frame = peer_settings_.max_frame_size;
+  // With a pad provider installed, keep room for the pad-length byte plus a
+  // maximal pad inside the frame-size limit (max_frame_size >= 16384 >> 256).
+  const bool padded = static_cast<bool>(data_pad_provider);
+  const std::int64_t frame_cap =
+      static_cast<std::int64_t>(peer_settings_.max_frame_size) - (padded ? 256 : 0);
   bool drained_now = false;
   while (!s.pending.empty()) {
-    const std::int64_t allowed =
-        std::min<std::int64_t>({static_cast<std::int64_t>(s.pending.size()),
-                                static_cast<std::int64_t>(max_frame), s.send_window,
-                                conn_send_window_});
+    const std::int64_t window = std::min(s.send_window, conn_send_window_);
+    const std::int64_t allowed = std::min<std::int64_t>(
+        {static_cast<std::int64_t>(s.pending.size()), frame_cap, window});
     if (allowed <= 0) break;
+    // Pad bytes share the flow-control window with body bytes (the receive
+    // side credits data + pad symmetrically), so clamp the pad to whatever
+    // headroom the window leaves beyond the body.
+    std::uint8_t pad = 0;
+    if (padded) {
+      pad = data_pad_provider(static_cast<std::size_t>(allowed));
+      pad = static_cast<std::uint8_t>(
+          std::min<std::int64_t>(pad, window - allowed));
+    }
     // Encode straight from the queue's contiguous front — no DataFrame, no
     // per-frame body copy. The view stays valid until the next append(),
     // which cannot happen inside write_data().
     const util::BytesView payload = s.pending.front(static_cast<std::size_t>(allowed));
     const bool end_stream =
         s.pending.size() == static_cast<std::size_t>(allowed) && s.pending_end_stream;
-    s.send_window -= allowed;
-    conn_send_window_ -= allowed;
+    s.send_window -= allowed + pad;
+    conn_send_window_ -= allowed + pad;
     s.data_bytes_sent += static_cast<std::uint64_t>(allowed);
     stats_.data_bytes_sent += static_cast<std::uint64_t>(allowed);
     ++stats_.data_frames_sent;
     if (end_stream) s.end_local();
-    write_data(s.id, payload, end_stream);
+    write_data(s.id, payload, end_stream, pad);
     s.pending.pop(static_cast<std::size_t>(allowed));
     if (s.pending.empty()) drained_now = true;
   }
@@ -242,6 +255,17 @@ void Connection::flush_stream_pending(Stream& s) {
     DataFrame df;
     df.stream_id = s.id;
     df.end_stream = true;
+    if (padded) {
+      const std::int64_t window =
+          std::max<std::int64_t>(0, std::min(s.send_window, conn_send_window_));
+      df.pad_length = static_cast<std::uint8_t>(
+          std::min<std::int64_t>(data_pad_provider(0), window));
+      s.send_window -= df.pad_length;
+      conn_send_window_ -= df.pad_length;
+      if (df.pad_length > 0) {
+        obs::count(obs::Counter::kH2PadBytesSent, df.pad_length);
+      }
+    }
     s.end_local();
     write_frame(df);
     drained_now = true;

@@ -118,6 +118,12 @@ class Connection {
   std::function<void(std::uint32_t stream_id, FrameType, WireSpan)> on_frame_sent;
   /// A stream's queued bytes became fully flushed (used by the scheduler).
   std::function<void(std::uint32_t stream_id)> on_stream_drained;
+  /// Defense hook (RFC 7540 §6.1): called once per DATA frame with the body
+  /// length about to be written; returns the pad length (0 = no PADDED
+  /// flag). Pad bytes consume flow-control window like body bytes, so the
+  /// provider's answer is clamped to the window headroom. Null = unpadded
+  /// frames, byte-identical to the pre-defense wire.
+  std::function<std::uint8_t(std::size_t payload_len)> data_pad_provider;
 
   /// Client-advertised stream priority weights (PRIORITY frames / HEADERS
   /// priority fields); the server's weighted scheduler reads these.
@@ -132,7 +138,8 @@ class Connection {
   Stream& require_stream(std::uint32_t id);
   Stream& ensure_remote_stream(std::uint32_t id);
   void flush_stream_pending(Stream& s);
-  WireSpan write_data(std::uint32_t stream_id, util::BytesView payload, bool end_stream);
+  WireSpan write_data(std::uint32_t stream_id, util::BytesView payload, bool end_stream,
+                      std::uint8_t pad_length);
   void drain_blocked_streams();
   void grant_receive_credit(Stream* s, std::size_t consumed);
 

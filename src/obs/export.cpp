@@ -29,6 +29,7 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
     "tcp.rto_backoffs",
     "tls.records_sealed",
     "tls.records_opened",
+    "tls.pad_bytes_sealed",
     "pool.chunks_served",
     "pool.chunks_reused",
     "pool.chunks_fresh",
@@ -47,6 +48,7 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
     "h2.frames_received",
     "h2.rst_streams_received",
     "h2.data_bytes_sent",
+    "h2.pad_bytes_sent",
     "capture.traces_written",
     "capture.bytes_written",
     "capture.packets_written",

@@ -61,6 +61,7 @@ enum class Counter : std::uint16_t {
   // tls
   kTlsRecordsSealed,
   kTlsRecordsOpened,
+  kTlsPadBytesSealed,  ///< record-quantization filler (defense layer)
   // util::BufferPool (pooled-buffer hit rate of the zero-copy wire path)
   kPoolChunksServed,
   kPoolChunksReused,
@@ -81,6 +82,7 @@ enum class Counter : std::uint16_t {
   kH2FramesReceived,
   kH2RstStreamsReceived,
   kH2DataBytesSent,
+  kH2PadBytesSent,  ///< DATA padding emitted (defense layer)
   // capture: .h2t trace store (compression ratio = raw_bytes / bytes_written)
   kCaptureTracesWritten,
   kCaptureBytesWritten,

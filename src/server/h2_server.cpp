@@ -1,6 +1,7 @@
 #include "h2priv/server/h2_server.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -32,6 +33,18 @@ H2Server::H2Server(sim::Simulator& sim, const web::Site& site, ServerConfig conf
   session_.on_established = [this] { conn_->start(); };
   session_.on_app_data = [this](util::BytesView bytes) { conn_->on_bytes(bytes); };
   session_.on_writable = [this] { schedule_pump(); };
+
+  if (config_.defense.padding != defense::PaddingPolicy::kNone) {
+    pad_rng_.emplace(rng_.fork());
+    conn_->data_pad_provider = [this](std::size_t payload_len) {
+      return defense::data_pad_length(config_.defense, payload_len, *pad_rng_);
+    };
+  }
+  if (shaping()) {
+    shape_budget_ = std::max<std::int64_t>(
+        1, config_.defense.shape_rate.bits_per_sec *
+               config_.defense.shape_interval.ns / (8 * 1'000'000'000LL));
+  }
 
   conn_->on_request = [this](std::uint32_t stream_id, const hpack::HeaderList& headers,
                              bool /*end_stream*/) { on_request(stream_id, headers); };
@@ -137,7 +150,14 @@ void H2Server::start_handler(std::uint32_t stream_id) {
 void H2Server::schedule_pump() {
   if (pump_scheduled_) return;
   pump_scheduled_ = true;
-  sim_.schedule(util::Duration{0}, [this] {
+  // Shaped servers wake only on the pacing clock: whatever triggered the
+  // pump (writability, a drained stream, a fresh handler), emission waits
+  // for the next tick, so bursts coalesce and the rate cap holds.
+  util::Duration delay{0};
+  if (shaping() && next_shape_tick_ > sim_.now()) {
+    delay = next_shape_tick_ - sim_.now();
+  }
+  sim_.schedule(delay, [this] {
     pump_scheduled_ = false;
     pump();
   });
@@ -173,37 +193,47 @@ bool H2Server::write_chunk(Handler& h, std::size_t chunk) {
 void H2Server::pump() {
   if (!session_.established()) return;
   const std::int64_t limit = session_.transport().config().send_buffer_limit;
+  // Shaped emission: one tick writes at most shape_budget_ body bytes, then
+  // waits for the next tick — a constant-rate, burst-coalesced schedule.
+  const bool shaped = shaping();
+  std::int64_t budget = shaped ? shape_budget_ : std::numeric_limits<std::int64_t>::max();
+  if (shaped) next_shape_tick_ = sim_.now() + config_.defense.shape_interval;
 
-  while (!rr_order_.empty()) {
+  while (!rr_order_.empty() && budget > 0) {
     const std::int64_t backlog = limit - session_.transport().send_capacity();
-    if (backlog >= config_.transport_backlog_target) return;  // resume on writable
+    if (backlog >= config_.transport_backlog_target) {
+      if (!shaped) return;  // resume on writable
+      break;                // keep the pacing clock armed below
+    }
 
-    std::uint32_t stream_id = 0;
+    // Pick this chunk's handler: the front of the turn order, or — with
+    // randomized prioritization — a uniform draw over the started set, so
+    // the wire interleaving decouples from request arrival order.
+    std::size_t pick = 0;
+    if (config_.defense.randomize_priority && rr_order_.size() > 1 &&
+        config_.policy != InterleavePolicy::kSequential) {
+      pick = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(rr_order_.size()) - 1));
+    }
+    const std::uint32_t stream_id = rr_order_[pick];
     std::size_t chunk = config_.chunk_bytes;
-    switch (config_.policy) {
-      case InterleavePolicy::kSequential:
-        stream_id = rr_order_.front();
-        break;
-      case InterleavePolicy::kRoundRobin:
-        stream_id = rr_order_.front();
-        break;
-      case InterleavePolicy::kWeighted: {
-        // Client-advertised priority weight (RFC 7540 §5.3): proportionally
-        // more bytes per turn, default weight 16 -> 1 chunk.
-        stream_id = rr_order_.front();
-        const std::size_t factor = std::clamp<std::size_t>(
-            (conn_->stream_weight(stream_id) + 15u) / 16u, 1, 8);
-        chunk *= factor;
-        break;
-      }
+    if (config_.policy == InterleavePolicy::kWeighted) {
+      // Client-advertised priority weight (RFC 7540 §5.3): proportionally
+      // more bytes per turn, default weight 16 -> 1 chunk.
+      const std::size_t factor = std::clamp<std::size_t>(
+          (conn_->stream_weight(stream_id) + 15u) / 16u, 1, 8);
+      chunk *= factor;
     }
 
     Handler& h = handlers_.at(stream_id);
     // If HTTP/2 flow control has this stream blocked, writing more would just
     // grow the in-memory pending queue — rotate past it instead.
     if (!conn_->stream(stream_id).pending.empty()) {
-      if (config_.policy == InterleavePolicy::kSequential) return;
-      rr_order_.pop_front();
+      if (config_.policy == InterleavePolicy::kSequential) {
+        if (!shaped) return;
+        break;
+      }
+      rr_order_.erase(rr_order_.begin() + static_cast<std::ptrdiff_t>(pick));
       rr_order_.push_back(stream_id);
       // If every handler is blocked we would spin; detect a full cycle.
       bool any_unblocked = false;
@@ -213,10 +243,12 @@ void H2Server::pump() {
           break;
         }
       }
-      if (!any_unblocked) return;  // resume on on_stream_drained
-      continue;
+      if (any_unblocked) continue;
+      if (!shaped) return;  // resume on on_stream_drained
+      break;
     }
 
+    budget -= static_cast<std::int64_t>(std::min(chunk, h.remaining()));
     const bool finished = write_chunk(h, chunk);
     if (finished) {
       ++stats_.responses_completed;
@@ -226,10 +258,13 @@ void H2Server::pump() {
                       rr_order_.end());
       handlers_.erase(stream_id);
     } else if (config_.policy != InterleavePolicy::kSequential) {
-      rr_order_.pop_front();
+      rr_order_.erase(rr_order_.begin() + static_cast<std::ptrdiff_t>(pick));
       rr_order_.push_back(stream_id);
     }
   }
+  // Shaped servers with work left re-arm on the pacing clock (unshaped ones
+  // resume on writability / drain callbacks instead).
+  if (shaped && !rr_order_.empty()) schedule_pump();
 }
 
 }  // namespace h2priv::server

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "h2priv/analysis/ground_truth.hpp"
+#include "h2priv/defense/defense.hpp"
 #include "h2priv/h2/connection.hpp"
 #include "h2priv/sim/rng.hpp"
 #include "h2priv/sim/simulator.hpp"
@@ -64,6 +65,14 @@ struct ServerConfig {
   /// secret request order never reaches the wire.
   std::map<std::string, std::vector<std::string>> push_map;
   bool randomize_push_order = true;
+
+  /// Defense knobs this server enforces (src/defense): DATA padding policy
+  /// (installed as the connection's pad provider), constant-rate pacing
+  /// with burst coalescing (pump on a fixed shape_interval clock, at most
+  /// shape_rate * shape_interval bytes per tick), and randomized stream
+  /// prioritization. Default-constructed = undefended, byte-identical to
+  /// the pre-defense server.
+  defense::DefenseConfig defense{};
 };
 
 class H2Server {
@@ -114,12 +123,16 @@ class H2Server {
   /// Writes one chunk for the handler; returns true if the handler finished.
   bool write_chunk(Handler& h, std::size_t chunk);
   [[nodiscard]] Handler* pick_sequential();
+  [[nodiscard]] bool shaping() const noexcept { return config_.defense.shaping(); }
 
   sim::Simulator& sim_;
   const web::Site& site_;
   ServerConfig config_;
   tls::Session& session_;
   sim::Rng rng_;
+  /// Dedicated stream for pad-length draws — forked from rng_ only when a
+  /// padding policy is active, so undefended runs never perturb rng_.
+  std::optional<sim::Rng> pad_rng_;
   analysis::GroundTruth* truth_;
   std::unique_ptr<h2::Connection> conn_;
   [[nodiscard]] util::BytesView cached_body(const web::SiteObject& object);
@@ -134,6 +147,10 @@ class H2Server {
   std::map<std::uint32_t, analysis::InstanceId> stream_instances_;
   std::deque<std::uint32_t> rr_order_;         // round-robin turn order
   bool pump_scheduled_ = false;
+  /// Shaping clock: the pacing tick the next pump may run at, and the byte
+  /// budget one tick may emit (shape_rate * shape_interval).
+  util::TimePoint next_shape_tick_{};
+  std::int64_t shape_budget_ = 0;
   ServerStats stats_;
 };
 

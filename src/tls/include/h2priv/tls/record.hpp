@@ -8,6 +8,7 @@
 // `ssl.record.content_type` filter sees: type and length.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -57,12 +58,25 @@ class SealContext {
   /// Wire overhead added when sealing `n` plaintext bytes in maximal records.
   [[nodiscard]] static std::size_t sealed_size(std::size_t plaintext_len) noexcept;
 
+  /// Record quantization (defense layer): application-data records are
+  /// padded to a multiple of `bucket` plaintext bytes before sealing, TLS
+  /// 1.3 style — content, then a 0x17 marker, then zero filler — so the
+  /// lengths in the 5-byte headers stop tracking object boundaries. The
+  /// peer's OpenContext must have set_unpad(true). 0 = off (the default;
+  /// wire bytes stay bit-identical to the undefended path). Handshake and
+  /// alert records are never padded.
+  void set_pad_bucket(std::size_t bucket) noexcept {
+    pad_bucket_ = std::min(bucket, kMaxPlaintext);
+  }
+  [[nodiscard]] std::size_t pad_bucket() const noexcept { return pad_bucket_; }
+
  private:
   void seal_into(util::ByteWriter& w, ContentType type, util::BytesView plaintext);
 
   std::uint64_t secret_;
   std::uint8_t domain_;
   std::uint64_t seq_ = 0;
+  std::size_t pad_bucket_ = 0;
 };
 
 class OpenContext {
@@ -79,10 +93,17 @@ class OpenContext {
   /// Throws TlsError on authentication failure or truncation.
   [[nodiscard]] Record open_one(util::BytesView wire, std::size_t& consumed);
 
+  /// Expect quantized application-data records (peer seals with a pad
+  /// bucket): strip the zero filler and 0x17 content marker after
+  /// authentication. A quantized record with no marker is hostile input and
+  /// throws TlsError.
+  void set_unpad(bool unpad) noexcept { unpad_ = unpad; }
+
  private:
   std::uint64_t secret_;
   std::uint8_t domain_;
   std::uint64_t seq_ = 0;
+  bool unpad_ = false;
 };
 
 /// Incremental record-boundary scanner over a (possibly partial) byte

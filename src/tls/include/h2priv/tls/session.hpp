@@ -46,6 +46,17 @@ class Session {
   /// for record overhead.
   [[nodiscard]] std::int64_t app_send_capacity() const noexcept;
 
+  /// Defense: quantize outgoing application-data records to `bucket`
+  /// plaintext bytes before sealing (0 = off). The peer session must have
+  /// set_recv_record_unpad(true). Configure before application traffic;
+  /// handshake flights are never padded either way.
+  void set_send_record_bucket(std::size_t bucket) noexcept {
+    seal_.set_pad_bucket(bucket);
+  }
+  /// Defense: expect quantized application records from the peer and strip
+  /// their authenticated filler before delivery.
+  void set_recv_record_unpad(bool unpad) noexcept { open_.set_unpad(unpad); }
+
   [[nodiscard]] bool established() const noexcept { return established_; }
   [[nodiscard]] std::uint64_t app_bytes_sent() const noexcept { return app_bytes_sent_; }
   [[nodiscard]] std::uint64_t app_bytes_received() const noexcept {

@@ -92,22 +92,42 @@ ContentType check_type(std::uint8_t raw) {
 void SealContext::seal_into(util::ByteWriter& w, ContentType type,
                             util::BytesView plaintext) {
   w.reserve(sealed_size(plaintext.size()));
+  // Record quantization applies to application data only — the handshake
+  // preamble must keep its recognizable flight sizes.
+  const bool quantize = pad_bucket_ > 0 && type == ContentType::kApplicationData;
+  // Quantized chunks leave one byte of headroom for the content marker.
+  const std::size_t chunk_limit = quantize ? kMaxPlaintext - 1 : kMaxPlaintext;
   std::size_t off = 0;
   std::array<std::uint8_t, kMaxPlaintext> scratch;
+  std::array<std::uint8_t, kMaxPlaintext> padded;
   do {
-    const std::size_t chunk = std::min(plaintext.size() - off, kMaxPlaintext);
-    const util::BytesView piece = plaintext.subspan(off, chunk);
+    const std::size_t chunk = std::min(plaintext.size() - off, chunk_limit);
+    util::BytesView piece = plaintext.subspan(off, chunk);
+    std::size_t content_len = chunk;
+    if (quantize) {
+      // TLS 1.3-style inner framing: content || 0x17 marker || zero filler,
+      // rounded up to the bucket (capped at the record-size limit).
+      const std::size_t rem = (chunk + 1) % pad_bucket_;
+      content_len =
+          std::min(chunk + 1 + (rem == 0 ? 0 : pad_bucket_ - rem), kMaxPlaintext);
+      std::copy(piece.begin(), piece.end(), padded.begin());
+      padded[chunk] = 0x17;
+      std::fill(padded.begin() + static_cast<std::ptrdiff_t>(chunk + 1),
+                padded.begin() + static_cast<std::ptrdiff_t>(content_len), 0);
+      piece = util::BytesView(padded.data(), content_len);
+      obs::count(obs::Counter::kTlsPadBytesSealed, content_len - chunk);
+    }
     const std::uint64_t seq = seq_++;
 
     w.u8(static_cast<std::uint8_t>(type));
     w.u16(kVersionTls12);
-    w.u16(util::narrow<std::uint16_t>(chunk + kAeadOverhead));
-    keystream_xor(secret_, domain_, seq, piece.data(), scratch.data(), chunk);
-    w.bytes(util::BytesView(scratch.data(), chunk));
+    w.u16(util::narrow<std::uint16_t>(content_len + kAeadOverhead));
+    keystream_xor(secret_, domain_, seq, piece.data(), scratch.data(), content_len);
+    w.bytes(util::BytesView(scratch.data(), content_len));
     const auto tag = compute_tag(secret_, domain_, seq, piece);
     w.bytes(util::BytesView(tag.data(), tag.size()));
     obs::count(obs::Counter::kTlsRecordsSealed);
-    obs::sample(obs::Hist::kTlsRecordBytes, chunk);
+    obs::sample(obs::Hist::kTlsRecordBytes, content_len);
     off += chunk;
   } while (off < plaintext.size());
 }
@@ -160,6 +180,17 @@ OpenContext::Record OpenContext::open_one(util::BytesView wire, std::size_t& con
   }
   consumed = kHeaderBytes + hdr.ciphertext_len;
   obs::count(obs::Counter::kTlsRecordsOpened);
+  if (unpad_ && hdr.type == ContentType::kApplicationData) {
+    // Quantized record: strip the zero filler down to the 0x17 marker. The
+    // filler is authenticated, so a missing or wrong marker is hostile
+    // input (a peer padding with garbage), not corruption.
+    std::size_t end = plaintext.size();
+    while (end > 0 && plaintext[end - 1] == 0) --end;
+    if (end == 0 || plaintext[end - 1] != 0x17) {
+      throw TlsError("open_one: quantized record has no content marker");
+    }
+    plaintext.resize(end - 1);
+  }
   return Record{hdr.type, std::move(plaintext)};
 }
 

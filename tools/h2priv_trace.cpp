@@ -6,6 +6,7 @@
 //   export-pcap synthesize a Wireshark-compatible pcap from a trace
 //   replay      recompute the attack verdict offline; verify against stored
 //   score       corpus-wide records-direct scoring pipeline + classifier
+//   grid        attack x defense sweep: per-defense corpora, recovery vs cost
 //   digest      print FNV-1a digests (trace files or a whole corpus)
 //
 // Corpus workflow:
@@ -13,6 +14,7 @@
 //   h2priv_trace inspect DIR/run_1000.h2t
 //   h2priv_trace replay --corpus DIR          # hard-fails on any mismatch
 //   h2priv_trace score --corpus DIR --jobs 4 --classifier knn --out report.txt
+//   h2priv_trace grid --root DIR --runs 20 --gate --out grid.txt
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +30,7 @@
 #include "h2priv/core/parallel_runner.hpp"
 #include "h2priv/corpus/score.hpp"
 #include "h2priv/corpus/store.hpp"
+#include "h2priv/defense/grid.hpp"
 
 using namespace h2priv;
 
@@ -38,8 +41,10 @@ int usage() {
       stderr,
       "usage: h2priv_trace <command> [args]\n"
       "  generate (--out FILE | --corpus DIR --runs N) [--scenario NAME]\n"
-      "           [--seed N] [--jobs N] [--shard-capacity N]\n"
+      "           [--seed N] [--jobs N] [--shard-capacity N] [--defense NAME]\n"
       "           scenarios: fig2 | table2 | baseline\n"
+      "           defenses: none | pad-random | pad-bucket | quantize | shape\n"
+      "                     | quantize+shape | full\n"
       "  inspect FILE.h2t [--packets-csv] [--records-csv]\n"
       "  export-pcap FILE.h2t OUT.pcap\n"
       "  replay (FILE.h2t | --corpus DIR)\n"
@@ -47,6 +52,8 @@ int usage() {
       "        [--features bursts,gaps,records] [--k N] [--train-mod N]\n"
       "        [--replay-verify] [--out FILE]\n"
       "  recompress --corpus DIR [--jobs N]\n"
+      "  grid --root DIR [--runs N] [--seed N] [--jobs N] [--scenario NAME]\n"
+      "       [--defenses a,b,c] [--train-mod N] [--out FILE] [--gate]\n"
       "  digest (FILE.h2t... | --corpus DIR)\n");
   return 2;
 }
@@ -92,7 +99,7 @@ void print_summary(const capture::TraceSummary& s, const char* heading) {
 }
 
 int cmd_generate(const std::vector<std::string>& args) {
-  std::string out, corpus, scenario;
+  std::string out, corpus, scenario, defense_arg;
   std::uint64_t seed = 1000;
   int runs = 1, jobs = 0, shard_capacity = 0;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -104,6 +111,8 @@ int cmd_generate(const std::vector<std::string>& args) {
       corpus = args[++i];
     } else if (a == "--scenario" && has_next) {
       scenario = args[++i];
+    } else if (a == "--defense" && has_next) {
+      defense_arg = args[++i];
     } else if (a == "--seed" && has_next) {
       seed = std::strtoull(args[++i].c_str(), nullptr, 10);
     } else if (a == "--runs" && has_next) {
@@ -124,6 +133,16 @@ int cmd_generate(const std::vector<std::string>& args) {
   core::RunConfig cfg = scenario_config(scenario);
   cfg.seed = seed;
   cfg.capture.scenario = scenario.empty() ? "baseline" : scenario;
+  if (!defense_arg.empty()) {
+    const std::optional<defense::DefenseConfig> parsed =
+        defense::defense_from_name(defense_arg);
+    if (!parsed) {
+      std::fprintf(stderr, "generate: unknown defense %s\n", defense_arg.c_str());
+      return 2;
+    }
+    cfg.server.defense = *parsed;
+    if (parsed->enabled()) cfg.capture.scenario += "+" + defense_arg;
+  }
   if (!out.empty()) {
     cfg.capture.path = out;
     const core::RunResult r = core::run_once(cfg);
@@ -210,6 +229,76 @@ int cmd_score(const std::vector<std::string>& args) {
   return report.summary_mismatches == 0 && report.replay_failures == 0 ? 0 : 1;
 }
 
+int cmd_grid(const std::vector<std::string>& args) {
+  defense::GridOptions options;
+  std::string out;
+  bool gate = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const bool has_next = i + 1 < args.size();
+    if (a == "--root" && has_next) {
+      options.root = args[++i];
+    } else if (a == "--runs" && has_next) {
+      options.runs = std::atoi(args[++i].c_str());
+    } else if (a == "--seed" && has_next) {
+      options.base_seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (a == "--jobs" && has_next) {
+      options.parallelism = core::Parallelism{std::atoi(args[++i].c_str())};
+    } else if (a == "--scenario" && has_next) {
+      options.scenario = args[++i];
+    } else if (a == "--defenses" && has_next) {
+      // Comma-separated preset names, in row order.
+      std::string list = args[++i];
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > start) options.defenses.push_back(list.substr(start, end - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (a == "--train-mod" && has_next) {
+      options.train_mod = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (a == "--out" && has_next) {
+      out = args[++i];
+    } else if (a == "--gate") {
+      gate = true;
+    } else {
+      std::fprintf(stderr, "grid: bad argument %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (options.root.empty()) {
+    std::fprintf(stderr, "grid: --root DIR required\n");
+    return 2;
+  }
+  const defense::GridReport report = defense::run_grid(options);
+  const std::string text = defense::format_grid_report(report);
+  if (out.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream os(out, std::ios::binary | std::ios::trunc);
+    os << text;
+    os.flush();
+    if (!os) {
+      std::fprintf(stderr, "grid: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu defenses x %zu attacks)\n", out.c_str(),
+                report.rows.size(), report.attacks.size());
+  }
+  if (gate) {
+    const std::vector<std::string> violations = defense::check_grid_invariants(report);
+    for (const std::string& v : violations) {
+      std::fprintf(stderr, "grid gate: %s\n", v.c_str());
+    }
+    if (!violations.empty()) return 1;
+    std::printf("grid gate: ok (%zu rows, %zu attacks)\n", report.rows.size(),
+                report.attacks.size());
+  }
+  return 0;
+}
+
 int cmd_inspect(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   bool packets_csv = false, records_csv = false;
@@ -262,6 +351,16 @@ int cmd_inspect(const std::vector<std::string>& args) {
               static_cast<double>(meta.attack_horizon_ns) / 1e9);
   for (const int p : meta.party_order) std::printf("%d ", p + 1);
   std::printf("\n");
+  if (meta.defense.enabled()) {
+    std::printf("meta: defense=%s padding=%s pad-bucket=%zu record-bucket=%zu "
+                "shape=%lldns/%lldbps randomize-priority=%s\n",
+                defense::defense_name(meta.defense).c_str(),
+                defense::to_string(meta.defense.padding), meta.defense.pad_bucket,
+                meta.defense.record_bucket,
+                static_cast<long long>(meta.defense.shape_interval.ns),
+                static_cast<long long>(meta.defense.shape_rate.bits_per_sec),
+                verdict_str(meta.defense.randomize_priority));
+  }
   std::printf("sections:\n");
   std::uint64_t total_stored = 0, total_raw = 0;
   for (const capture::TraceReader::SectionInfo& s : trace.sections()) {
@@ -423,6 +522,7 @@ int main(int argc, char** argv) {
     if (cmd == "replay") return cmd_replay(args);
     if (cmd == "score") return cmd_score(args);
     if (cmd == "recompress") return cmd_recompress(args);
+    if (cmd == "grid") return cmd_grid(args);
     if (cmd == "digest") return cmd_digest(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "h2priv_trace: %s\n", e.what());
