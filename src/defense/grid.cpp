@@ -8,8 +8,8 @@
 #include <stdexcept>
 
 #include "h2priv/capture/trace_view.hpp"
+#include "h2priv/core/experiment.hpp"
 #include "h2priv/obs/metrics.hpp"
-#include "h2priv/web/isidewith.hpp"
 
 namespace h2priv::defense {
 
@@ -28,10 +28,21 @@ std::string fixed(double v, int prec) {
 }
 
 /// The adversary's size catalog, as raw sizes (results HTML + emblems).
+/// Routed through core: defense has no layering edge to web/ and the grid
+/// must attack exactly the catalog the live predictor uses.
 std::vector<std::size_t> catalog_sizes() {
-  std::vector<std::size_t> sizes{web::kResultsHtmlSize};
-  sizes.insert(sizes.end(), web::kEmblemSizes.begin(), web::kEmblemSizes.end());
+  const analysis::SizeCatalog catalog = core::isidewith_catalog();
+  std::vector<std::size_t> sizes;
+  for (const analysis::SizeCatalog::Entry& e : catalog.entries()) {
+    sizes.push_back(e.body_size);
+  }
   return sizes;
+}
+
+/// Emblems in the catalog (= party count): every entry except the HTML.
+std::uint64_t emblem_count() {
+  const analysis::SizeCatalog catalog = core::isidewith_catalog();
+  return static_cast<std::uint64_t>(catalog.entries().size()) - 1;
 }
 
 /// Mean relative distance (percent) of every post-horizon burst estimate to
@@ -86,8 +97,7 @@ GridCell score_attack(const corpus::Corpus& c, const GridAttack& attack,
   cell.attack = attack.name;
   if (attack.classifier == corpus::Classifier::kNone) {
     cell.successes = report.attack_successes;
-    cell.total = static_cast<std::uint64_t>(report.traces.size()) *
-                 static_cast<std::uint64_t>(web::kPartyCount);
+    cell.total = static_cast<std::uint64_t>(report.traces.size()) * emblem_count();
   } else {
     cell.successes = report.eval_correct;
     cell.total = report.eval_count;

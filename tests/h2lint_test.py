@@ -1,0 +1,369 @@
+#!/usr/bin/env python3
+"""Tests for tools/h2lint (the semantic analysis suite, DESIGN.md §12).
+
+Runs h2lint as a subprocess (the same way CI and tools/run_h2lint.sh do)
+over one miniature fixture tree per whole-program rule, asserting the
+exact (path, line, rule) triples reported — positive, negative and
+`// lint:allow(<rule>)` suppression cases for each rule, mirroring
+lint_determinism_test.py.
+
+The AST-engine cases (typedef/alias and multi-line blind spots) need the
+libclang Python bindings and are skipped where they are absent; CI
+installs them and runs h2lint with --strict so they always execute there.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TOOLS = REPO / "tools"
+FIXTURES = REPO / "tests" / "lint" / "h2lint"
+
+FINDING_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z0-9-]+)\]")
+
+DETERMINISM_RULES = (
+    "wall-clock",
+    "unseeded-rng",
+    "unordered-container",
+    "pointer-keyed-container",
+    "thread-local",
+    "float-merge-accum",
+)
+WHOLE_PROGRAM_RULES = ("layering", "obs-registry", "h2t-tags", "rng-fork")
+
+
+def have_libclang():
+    try:
+        from clang import cindex  # noqa: PLC0415 - probe, not a dependency
+
+        cindex.Index.create()
+        return True
+    except Exception:  # noqa: BLE001 - ImportError or missing libclang.so
+        return False
+
+
+def run_h2lint(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(TOOLS)
+    return subprocess.run(
+        [sys.executable, "-m", "h2lint", *args],
+        capture_output=True,
+        text=True,
+        check=False,
+        env=env,
+    )
+
+
+def findings(stdout):
+    out = set()
+    for line in stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            out.add((m.group("path"), int(m.group("line")), m.group("rule")))
+    return out
+
+
+class LayeringFixture(unittest.TestCase):
+    ROOT = FIXTURES / "layering"
+
+    def test_violating_and_unknown_modules_fire_at_the_seeded_lines(self):
+        result = run_h2lint("--root", str(self.ROOT), "--rules", "layering")
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertEqual(
+            findings(result.stdout),
+            {
+                ("src/gateway/unknown_module.cpp", 1, "layering"),
+                ("src/tcp/bad_layering.cpp", 4, "layering"),
+            },
+        )
+
+    def test_finding_names_the_offending_edge(self):
+        result = run_h2lint("--root", str(self.ROOT), "--rules", "layering")
+        self.assertIn("edge tcp -> h2", result.stdout)
+
+    def test_legal_edges_and_ubiquitous_modules_are_clean(self):
+        result = run_h2lint(
+            "--root", str(self.ROOT), "--rules", "layering",
+            "src/tcp/allowed_edges.cpp",
+        )
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_lint_allow_suppresses_the_annotated_include(self):
+        result = run_h2lint(
+            "--root", str(self.ROOT), "--rules", "layering",
+            "src/tcp/suppressed_edge.cpp",
+        )
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_base_dag_spec_is_acyclic(self):
+        sys.path.insert(0, str(TOOLS))
+        try:
+            from h2lint import layering
+
+            layering.check_spec_acyclic()  # must not raise
+            saved = layering.BASE_DAG
+            layering.BASE_DAG = {"a": frozenset({"b"}), "b": frozenset({"a"})}
+            try:
+                with self.assertRaises(ValueError):
+                    layering.check_spec_acyclic()
+            finally:
+                layering.BASE_DAG = saved
+        finally:
+            sys.path.remove(str(TOOLS))
+
+
+class ObsRegistryFixture(unittest.TestCase):
+    ROOT = FIXTURES / "obs"
+
+    def test_drift_dead_counter_and_bogus_key_fire_at_the_seeded_lines(self):
+        result = run_h2lint("--root", str(self.ROOT), "--rules", "obs-registry")
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertEqual(
+            findings(result.stdout),
+            {
+                ("src/obs/export.cpp", 11, "obs-registry"),
+                ("src/obs/include/h2priv/obs/metrics.hpp", 12, "obs-registry"),
+                ("src/tcp/counts.cpp", 10, "obs-registry"),
+            },
+        )
+
+    def test_messages_name_the_canonical_form_and_the_dead_member(self):
+        result = run_h2lint("--root", str(self.ROOT), "--rules", "obs-registry")
+        self.assertIn('"tcp.segments_sent"', result.stdout)
+        self.assertIn("kNetMbSeen is never incremented", result.stdout)
+
+    def test_lint_allow_suppresses_the_waived_key(self):
+        result = run_h2lint("--root", str(self.ROOT), "--rules", "obs-registry")
+        self.assertNotIn("tcp.waived_key", result.stdout)
+
+
+class TraceTagsFixture(unittest.TestCase):
+    ROOT = FIXTURES / "tags"
+
+    def test_collision_intersection_and_bit_claims_fire_at_the_seeded_lines(self):
+        result = run_h2lint("--root", str(self.ROOT), "--rules", "h2t-tags")
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        fmt = "src/capture/include/h2priv/capture/trace_format.hpp"
+        self.assertEqual(
+            findings(result.stdout),
+            {
+                (fmt, 16, "h2t-tags"),  # kVerdicts collides with kTimeline
+                (fmt, 18, "h2t-tags"),  # kBlockIndex intersects compressed flag
+                ("src/capture/trace_writer.cpp", 10, "h2t-tags"),  # 0x01 twice
+                ("src/capture/trace_writer.cpp", 11, "h2t-tags"),  # 0x03 multi-bit
+                ("src/capture/trace_writer.cpp", 13, "h2t-tags"),  # 0x40 unread
+            },
+        )
+
+    def test_digit_separator_is_not_treated_as_a_char_literal(self):
+        # kSectionCompressedFlag = 0x8000'0000u must parse as 2^31 (a single
+        # bit): a stripper that reads the ' as a quote would mangle the value
+        # and emit a bogus "not a single bit" finding at its line (11).
+        result = run_h2lint("--root", str(self.ROOT), "--rules", "h2t-tags")
+        fmt = "src/capture/include/h2priv/capture/trace_format.hpp"
+        self.assertNotIn((fmt, 11, "h2t-tags"), findings(result.stdout))
+
+    def test_lint_allow_suppresses_the_waived_claims(self):
+        result = run_h2lint("--root", str(self.ROOT), "--rules", "h2t-tags")
+        got = findings(result.stdout)
+        self.assertNotIn((
+            "src/capture/include/h2priv/capture/trace_format.hpp", 17, "h2t-tags",
+        ), got)  # kWaived = 1 is annotated
+        self.assertNotIn(
+            ("src/capture/trace_writer.cpp", 12, "h2t-tags"), got
+        )  # flags |= 0x06 is annotated
+
+
+class RngForkFixture(unittest.TestCase):
+    ROOT = FIXTURES / "rngfork"
+
+    def test_parent_stream_uses_inside_the_spawn_extent_fire(self):
+        result = run_h2lint("--root", str(self.ROOT), "--rules", "rng-fork")
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertEqual(
+            findings(result.stdout),
+            {
+                ("src/core/bad_fork.cpp", 9, "rng-fork"),  # [&rng] capture
+                ("src/core/bad_fork.cpp", 10, "rng-fork"),  # rng.next() draw
+            },
+        )
+
+    def test_forked_child_is_clean(self):
+        result = run_h2lint(
+            "--root", str(self.ROOT), "--rules", "rng-fork",
+            "src/core/good_fork.cpp",
+        )
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_lint_allow_suppresses_annotated_uses(self):
+        result = run_h2lint(
+            "--root", str(self.ROOT), "--rules", "rng-fork",
+            "src/core/suppressed_fork.cpp",
+        )
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+
+class RealTree(unittest.TestCase):
+    def test_repo_is_clean_under_all_rules(self):
+        result = run_h2lint("--root", str(REPO))
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+    def test_list_rules_names_all_ten(self):
+        result = run_h2lint("--list-rules")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        listed = {line.split(":")[0] for line in result.stdout.splitlines() if line}
+        self.assertEqual(listed, set(DETERMINISM_RULES) | set(WHOLE_PROGRAM_RULES))
+
+    def test_explain_dag_covers_every_module(self):
+        result = run_h2lint("--explain-dag")
+        self.assertEqual(result.returncode, 0)
+        for module in ("sim", "tcp", "tls", "h2", "hpack", "net", "web",
+                       "client", "server", "analysis", "core", "capture",
+                       "corpus", "defense"):
+            self.assertIn(f"  {module}:", result.stdout)
+
+    def test_unknown_rule_is_a_setup_error(self):
+        result = run_h2lint("--rules", "no-such-rule")
+        self.assertEqual(result.returncode, 2)
+
+    def test_forced_ast_engine_without_compile_db_is_a_setup_error(self):
+        result = run_h2lint(
+            "--root", str(REPO), "--engine", "ast",
+            "--compile-db", "/nonexistent/compile_commands.json",
+        )
+        self.assertEqual(result.returncode, 2, result.stdout + result.stderr)
+
+
+class FallbackEquivalence(unittest.TestCase):
+    """h2lint's regex fallback must reproduce the standalone determinism
+    linter verbatim over its own fixture tree: same rules, same lines."""
+
+    def test_determinism_rules_match_the_regex_linter_fixture_expectations(self):
+        sys.path.insert(0, str(REPO / "tests"))
+        try:
+            from lint_determinism_test import EXPECTED
+        finally:
+            sys.path.remove(str(REPO / "tests"))
+        result = run_h2lint(
+            "--root", str(REPO / "tests" / "lint" / "fixtures"),
+            "--engine", "text",
+            "--rules", ",".join(DETERMINISM_RULES),
+        )
+        self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+        self.assertEqual(findings(result.stdout), set(EXPECTED))
+
+
+class Injection(unittest.TestCase):
+    """The gate must gate: a violation injected into a scratch tree must
+    flip the exit code (the same self-checks CI runs for the semantic
+    rules)."""
+
+    def test_injected_layering_violation_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            dst = root / "src" / "tls"
+            dst.mkdir(parents=True)
+            (dst / "probe.cpp").write_text(
+                "#include \"h2priv/tcp/segment.hpp\"\n"
+            )
+            self.assertEqual(
+                run_h2lint("--root", str(root), "--rules", "layering").returncode,
+                0,
+            )
+            with open(dst / "probe.cpp", "a") as f:
+                f.write("#include \"h2priv/corpus/store.hpp\"\n")
+            result = run_h2lint("--root", str(root), "--rules", "layering")
+            self.assertEqual(result.returncode, 1)
+            self.assertIn("[layering]", result.stdout)
+            self.assertIn("edge tls -> corpus", result.stdout)
+
+    def test_injected_rng_fork_violation_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            dst = root / "src" / "sim"
+            dst.mkdir(parents=True)
+            (dst / "spawn.cpp").write_text(
+                "void run_all(sim::Rng& rng, int n) {\n"
+                "  for (int i = 0; i < n; ++i) use(rng.next());\n"
+                "}\n"
+            )
+            self.assertEqual(
+                run_h2lint("--root", str(root), "--rules", "rng-fork").returncode,
+                0,
+            )
+            (dst / "spawn.cpp").write_text(
+                "void run_all(sim::Rng& rng, int n) {\n"
+                "  std::thread worker([&rng] { use(rng.next()); });\n"
+                "  worker.join();\n"
+                "}\n"
+            )
+            result = run_h2lint("--root", str(root), "--rules", "rng-fork")
+            self.assertEqual(result.returncode, 1)
+            self.assertIn("[rng-fork]", result.stdout)
+
+
+@unittest.skipUnless(have_libclang(), "libclang Python bindings not available")
+class AstEngine(unittest.TestCase):
+    """The two regex blind spots the AST engine exists to close. CI
+    installs libclang and runs these; locally they skip."""
+
+    ROOT = FIXTURES / "ast"
+
+    def _compile_db(self, tmp):
+        inc = self.ROOT / "src" / "obs" / "include"
+        entries = [
+            {
+                "directory": str(self.ROOT),
+                "file": str(self.ROOT / "src" / "sim" / name),
+                "command": f"c++ -std=c++17 -I{inc} -c src/sim/{name}",
+            }
+            for name in ("uses_alias.cpp", "multiline_clock.cpp")
+        ]
+        db = Path(tmp) / "compile_commands.json"
+        db.write_text(json.dumps(entries))
+        return db
+
+    def test_alias_of_unordered_map_fires_at_the_use_site(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            result = run_h2lint(
+                "--root", str(self.ROOT), "--engine", "ast",
+                "--compile-db", str(self._compile_db(tmp)),
+                "--rules", ",".join(DETERMINISM_RULES),
+            )
+            self.assertEqual(result.returncode, 1, result.stdout + result.stderr)
+            self.assertIn(
+                ("src/sim/uses_alias.cpp", 8, "unordered-container"),
+                findings(result.stdout),
+            )
+
+    def test_multiline_clock_call_fires(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            result = run_h2lint(
+                "--root", str(self.ROOT), "--engine", "ast",
+                "--compile-db", str(self._compile_db(tmp)),
+                "--rules", ",".join(DETERMINISM_RULES),
+            )
+            got = findings(result.stdout)
+            clock = {
+                (p, line, rule)
+                for (p, line, rule) in got
+                if p == "src/sim/multiline_clock.cpp" and rule == "wall-clock"
+            }
+            self.assertTrue(clock, f"no wall-clock finding in {got}")
+
+    def test_text_engine_misses_both_blind_spots(self):
+        result = run_h2lint(
+            "--root", str(self.ROOT), "--engine", "text",
+            "--rules", ",".join(DETERMINISM_RULES),
+        )
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,12 @@
+// h2lint AST fixture: an alias declared in an exempt module. The alias
+// itself is legal here; sim-critical *uses* of it are the violation the
+// regex engine cannot see (the typedef blind spot).
+#pragma once
+
+#include <unordered_map>
+
+namespace h2priv::obs {
+
+using EventIndex = std::unordered_map<int, int>;
+
+}  // namespace h2priv::obs

@@ -1,0 +1,14 @@
+// h2lint AST fixture: the call is split so no single physical line matches
+// the regex pattern; the CALL_EXPR cursor still spans it (the multi-line
+// blind spot).
+#include <chrono>
+
+namespace h2priv::sim {
+
+long long stamp() {
+  auto t = std::chrono::
+      steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+}  // namespace h2priv::sim

@@ -1,0 +1,13 @@
+// h2lint AST fixture: the alias canonically IS std::unordered_map, so the
+// member below must fire [unordered-container] despite never naming it.
+#include "h2priv/obs/event_index.hpp"
+
+namespace h2priv::sim {
+
+struct Scheduler {
+  h2priv::obs::EventIndex pending;
+};
+
+int touch(Scheduler& s) { return static_cast<int>(s.pending.size()); }
+
+}  // namespace h2priv::sim

@@ -1,0 +1,8 @@
+// h2lint fixture: a src/ module the layering DAG spec does not know. Must
+// fire [layering] at line 1 telling the author to declare its dependencies.
+
+namespace h2priv::gateway {
+
+int unknown_module() { return 0; }
+
+}  // namespace h2priv::gateway

@@ -1,0 +1,12 @@
+// h2lint fixture: every include here is a legal edge (tcp -> sim is in the
+// base DAG; util and obs are ubiquitous). Must produce no findings.
+#include "h2priv/obs/metrics.hpp"
+#include "h2priv/sim/simulator.hpp"
+#include "h2priv/tcp/segment.hpp"
+#include "h2priv/util/bytes.hpp"
+
+namespace h2priv::tcp {
+
+int allowed_edges() { return 0; }
+
+}  // namespace h2priv::tcp

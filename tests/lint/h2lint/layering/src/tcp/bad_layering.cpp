@@ -1,0 +1,10 @@
+// h2lint fixture: tcp has no layering edge to h2 (the chain runs the other
+// way: tls -> {hpack, h2}). The include below must fire [layering] naming
+// the offending edge.
+#include "h2priv/h2/frame.hpp"
+
+namespace h2priv::tcp {
+
+int bad_layering() { return 1; }
+
+}  // namespace h2priv::tcp

@@ -1,0 +1,9 @@
+// h2lint fixture: a deliberate cross-edge waived in place with the shared
+// lint:allow syntax. Must produce no findings.
+#include "h2priv/h2/frame.hpp"  // lint:allow(layering)
+
+namespace h2priv::tcp {
+
+int suppressed_edge() { return 0; }
+
+}  // namespace h2priv::tcp

@@ -1,0 +1,23 @@
+// h2lint fixture: positional name arrays. "tcp.segs_sent" drifts from the
+// canonical "tcp.segments_sent" -> [obs-registry] name drift at its line.
+#include <array>
+
+#include "h2priv/obs/metrics.hpp"
+
+namespace h2priv::obs {
+
+constexpr std::array<const char*, 3> kCounterNames = {
+    "sim.events_scheduled",
+    "tcp.segs_sent",
+    "net.mb_seen",
+};
+
+constexpr std::array<const char*, 1> kGaugeNames = {
+    "sim.heap_depth_max",
+};
+
+constexpr std::array<const char*, 1> kHistNames = {
+    "tcp.cwnd_bytes",
+};
+
+}  // namespace h2priv::obs

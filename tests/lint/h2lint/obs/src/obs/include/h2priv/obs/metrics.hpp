@@ -1,0 +1,26 @@
+// h2lint fixture: a miniature obs registry. kNetMbSeen is registered but
+// never incremented anywhere in this tree -> [obs-registry] dead counter.
+#pragma once
+
+#include <cstdint>
+
+namespace h2priv::obs {
+
+enum class Counter : std::uint32_t {
+  kSimEventsScheduled,
+  kTcpSegmentsSent,
+  kNetMbSeen,
+  kCount,
+};
+
+enum class Gauge : std::uint32_t {
+  kSimHeapDepth,
+  kCount,
+};
+
+enum class Hist : std::uint32_t {
+  kTcpCwndBytes,
+  kCount,
+};
+
+}  // namespace h2priv::obs

@@ -1,0 +1,14 @@
+// h2lint fixture: increments two counters (kNetMbSeen stays dead) and
+// hard-codes a metric key no registry exports -> string-key drift below.
+#include "h2priv/obs/metrics.hpp"
+
+namespace h2priv::tcp {
+
+void on_segment(const char** sink) {
+  bump(obs::Counter::kSimEventsScheduled);
+  bump(obs::Counter::kTcpSegmentsSent);
+  sink[0] = "tcp.bogus_key";
+  sink[1] = "tcp.waived_key";  // lint:allow(obs-registry)
+}
+
+}  // namespace h2priv::tcp

@@ -1,0 +1,14 @@
+// h2lint fixture: the parent stream is handed to parallel workers — the
+// reference capture and the draw inside the lambda must both fire
+// [rng-fork].
+#include "h2priv/sim/rng.hpp"
+
+namespace h2priv::core {
+
+void shuffle_all(sim::Rng& rng, int n) {
+  parallel_for(n, [&rng](int i) {
+    use(rng.next(), i);
+  });
+}
+
+}  // namespace h2priv::core

@@ -1,0 +1,12 @@
+// h2lint fixture: each worker gets an independent child stream. Clean.
+#include "h2priv/sim/rng.hpp"
+
+namespace h2priv::core {
+
+void shuffle_all(sim::Rng& rng, int n) {
+  parallel_for(n, [child = rng.fork()](int i) mutable {
+    use(child.next(), i);
+  });
+}
+
+}  // namespace h2priv::core

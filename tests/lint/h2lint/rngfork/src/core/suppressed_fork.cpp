@@ -1,0 +1,13 @@
+// h2lint fixture: parent handed through deliberately (serial replay under a
+// parallel driver), waived in place on each use line. Clean.
+#include "h2priv/sim/rng.hpp"
+
+namespace h2priv::core {
+
+void replay_serial(sim::Rng& rng, int n) {
+  parallel_for(n, [&rng](int i) {  // lint:allow(rng-fork)
+    use(rng.next(), i);  // lint:allow(rng-fork)
+  });
+}
+
+}  // namespace h2priv::core

@@ -1,0 +1,21 @@
+// h2lint fixture: Section id collision + compressed-flag intersection. The
+// digit separators below exercise the strip_code fix (the ' in 0x8000'0000u
+// is not a char-literal quote).
+#pragma once
+
+#include <cstdint>
+
+namespace h2priv::capture {
+
+// v2 trailer bit marking a compressed payload.
+inline constexpr std::uint32_t kSectionCompressedFlag = 0x8000'0000u;
+
+enum class Section : std::uint32_t {
+  kMeta = 1,
+  kTimeline = 2,
+  kVerdicts = 2,
+  kWaived = 1,  // lint:allow(h2t-tags)
+  kBlockIndex = 0x8000'0007,
+};
+
+}  // namespace h2priv::capture

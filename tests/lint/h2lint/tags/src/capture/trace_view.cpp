@@ -1,0 +1,8 @@
+// h2lint fixture: the reader masks bit 0x01 only; 0x40 stays unread.
+#include "h2priv/capture/trace_format.hpp"
+
+namespace h2priv::capture {
+
+bool has_a(unsigned flags) { return (flags & 0x01) != 0; }
+
+}  // namespace h2priv::capture

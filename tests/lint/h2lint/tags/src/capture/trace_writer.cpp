@@ -1,0 +1,17 @@
+// h2lint fixture: flag-bit claim violations. The run below claims 0x01
+// twice, 0x03 is not a single bit, and 0x40 never gets a reader mask.
+#include "h2priv/capture/trace_format.hpp"
+
+namespace h2priv::capture {
+
+unsigned pack_flags(bool a, bool b, bool c, bool d) {
+  unsigned flags = 0;
+  if (a) flags |= 0x01;
+  if (b) flags |= 0x01;
+  if (c) flags |= 0x03;
+  if (d) flags |= 0x06;  // lint:allow(h2t-tags)
+  flags |= 0x40;
+  return flags;
+}
+
+}  // namespace h2priv::capture

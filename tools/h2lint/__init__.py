@@ -1,0 +1,26 @@
+"""h2lint: semantic + whole-program static analysis for the h2priv tree.
+
+The regex linter (tools/lint_determinism.py, DESIGN.md §7) guards single
+lines; h2lint guards the invariants a line-oriented tool cannot see:
+
+  - The six determinism rules re-implemented at the AST/type level via
+    libclang (canonical types kill the typedef/alias blind spot, cursor
+    extents kill the split-across-lines blind spot). When libclang is
+    absent, h2lint degrades gracefully to the regex engine so the rules
+    never go dark.
+  - Whole-program invariant checks that need the entire tree at once and
+    therefore run in pure Python with no toolchain dependency at all:
+      layering       include-layering DAG between src/ modules
+      obs-registry   Counter/Gauge/Hist enum <-> export name consistency
+      h2t-tags       .h2t section-tag and flag-bit uniqueness + reader drift
+      rng-fork       sim::Rng& parameters must be fork()ed into parallel work
+
+Entry point: ``python3 -m h2lint`` (see cli.py) or tools/run_h2lint.sh.
+Findings share the regex linter's output format and its
+``// lint:allow(<rule>)`` suppression syntax, so one escape hatch covers
+both tools. DESIGN.md §12 is the specification.
+"""
+
+__all__ = ["__version__"]
+
+__version__ = "1.0"

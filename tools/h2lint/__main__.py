@@ -1,0 +1,8 @@
+"""Entry point: ``PYTHONPATH=tools python3 -m h2lint`` (or tools/run_h2lint.sh)."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,215 @@
+"""The six determinism rules (DESIGN.md §7) at the AST/type level.
+
+Same rule ids, scopes and messages as tools/lint_determinism.py — what
+changes is *how* a violation is recognized:
+
+  - Types are matched on their **canonical** spelling, so a typedef or
+    alias of std::unordered_map is caught at the use site even when the
+    alias was declared in an exempt header (the regex engine's
+    typedef/alias blind spot).
+  - Calls and declarations are matched on **cursors**, whose extents span
+    physical lines, so `std::chrono::\n  steady_clock::now()` is caught
+    (the regex engine's multi-line blind spot).
+
+Findings are attributed to the file and line of the cursor location, and
+honor the shared `// lint:allow(<rule>)` syntax by consulting the raw
+source line. Header findings are deduplicated across translation units.
+
+This module imports the backend lazily-by-construction: it is only loaded
+by the CLI when ast_backend.available() is True.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from . import ast_backend
+from .source import Finding, SourceFile
+
+# Scopes mirror tools/lint_determinism.py (the regex engine remains the
+# source of truth for scope policy; keep these in sync — the unit tests
+# cross-check them).
+SIM_CRITICAL = (
+    "src/sim",
+    "src/tcp",
+    "src/tls",
+    "src/h2",
+    "src/hpack",
+    "src/net",
+    "src/core",
+    "src/web",
+    "src/capture",
+    "src/corpus",
+    "src/util",
+    "src/defense",
+    "src/analysis",
+)
+THREAD_LOCAL_EXEMPT = ("src/util", "src/obs")
+
+WALL_CLOCK_FNS = {
+    "time",
+    "clock",
+    "gettimeofday",
+    "clock_gettime",
+    "localtime",
+    "gmtime",
+}
+WALL_CLOCK_TYPES = re.compile(
+    r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
+)
+AMBIENT_RNG_FNS = {"rand", "srand", "random"}
+RNG_ENGINE_TYPES = re.compile(
+    r"std::(mt19937(_64)?|minstd_rand0?|default_random_engine"
+    r"|ranlux(24|48)(_base)?|knuth_b)\b"
+)
+RANDOM_DEVICE = re.compile(r"std::random_device\b")
+UNORDERED = re.compile(r"std::(__\w+::)?unordered_(map|set|multimap|multiset)<")
+POINTER_KEYED = re.compile(
+    r"std::(__\w+::)?(map|set|multimap|multiset)<[^<>,]*\*\s*[,>]"
+)
+
+MESSAGES = {
+    "wall-clock": "wall-clock read in simulation code (use sim::Simulator::now())",
+    "unseeded-rng": "ambient randomness (derive a sim::Rng from the run seed instead)",
+    "unordered-container": "unordered container in sim-critical code "
+    "(iteration order is implementation-defined)",
+    "pointer-keyed-container": "pointer-keyed ordered container (ASLR makes "
+    "iteration order differ per process)",
+    "thread-local": "thread_local outside util/obs (per-thread state breaks "
+    "--jobs invariance unless merged commutatively)",
+    "float-merge-accum": "floating point inside a merge function (FP addition is "
+    "not associative; merge order = worker count would change totals)",
+}
+
+
+def _in_dirs(rel: str, dirs: tuple[str, ...]) -> bool:
+    return any(rel == d or rel.startswith(d + "/") for d in dirs)
+
+
+class AstLinter:
+    def __init__(self, root: Path, compile_db: Path):
+        self.root = root
+        self.db = ast_backend.load_compile_db(compile_db)
+        self._sources: dict[str, SourceFile] = {}
+        self._findings: set[Finding] = set()
+        self.parse_failures: list[str] = []
+
+    def _rel(self, location) -> str | None:
+        if location.file is None:
+            return None
+        try:
+            return str(Path(str(location.file)).resolve().relative_to(self.root))
+        except ValueError:
+            return None
+
+    def _source(self, rel: str) -> SourceFile:
+        if rel not in self._sources:
+            self._sources[rel] = SourceFile(self.root, rel)
+        return self._sources[rel]
+
+    def _report(self, rule: str, location) -> None:
+        rel = self._rel(location)
+        if rel is None or not rel.startswith("src/"):
+            return
+        line = location.line
+        if rule in self._source(rel).allowed(line):
+            return
+        self._findings.add(Finding(rel, line, rule, MESSAGES[rule]))
+
+    # --- per-cursor checks --------------------------------------------------
+
+    def _check_call(self, cursor, rel: str) -> None:
+        ref = cursor.referenced
+        name = ref.spelling if ref is not None else cursor.spelling
+        qualified = ast_backend.fully_qualified(ref) if ref is not None else name
+        if name in WALL_CLOCK_FNS and "::" not in qualified.replace(name, ""):
+            self._report("wall-clock", cursor.location)
+        if WALL_CLOCK_TYPES.search(qualified):
+            self._report("wall-clock", cursor.location)
+        if name in AMBIENT_RNG_FNS and qualified in (name, "std::" + name):
+            self._report("unseeded-rng", cursor.location)
+
+    def _check_decl_type(self, cursor, rel: str) -> None:
+        canonical = cursor.type.get_canonical().spelling if cursor.type else ""
+        if RANDOM_DEVICE.search(canonical):
+            self._report("unseeded-rng", cursor.location)
+        if RNG_ENGINE_TYPES.search(canonical):
+            # Engine constructed without arguments = default seed.
+            kinds = ast_backend.CINDEX.CursorKind
+            args = [
+                c
+                for c in cursor.get_children()
+                if c.kind
+                not in (kinds.TYPE_REF, kinds.NAMESPACE_REF, kinds.TEMPLATE_REF)
+            ]
+            if not args:
+                self._report("unseeded-rng", cursor.location)
+        if _in_dirs(rel, SIM_CRITICAL):
+            if UNORDERED.search(canonical):
+                self._report("unordered-container", cursor.location)
+            if POINTER_KEYED.search(canonical):
+                self._report("pointer-keyed-container", cursor.location)
+
+    def _check_thread_local(self, cursor, rel: str) -> None:
+        if _in_dirs(rel, THREAD_LOCAL_EXEMPT):
+            return
+        try:
+            tokens = [t.spelling for t in cursor.get_tokens()]
+        except Exception:  # noqa: BLE001 - token range can be invalid in PCH edges
+            return
+        if "thread_local" in tokens:
+            self._report("thread-local", cursor.location)
+
+    def _check_float_in_merge(self, cursor) -> None:
+        kinds = ast_backend.CINDEX.CursorKind
+        for c in cursor.walk_preorder():
+            if c.kind in (kinds.VAR_DECL, kinds.PARM_DECL, kinds.FIELD_DECL):
+                canonical = c.type.get_canonical().spelling if c.type else ""
+                if re.search(r"\b(float|double)\b", canonical):
+                    self._report("float-merge-accum", c.location)
+
+    # --- TU walk ------------------------------------------------------------
+
+    def lint_tu(self, tu) -> None:
+        kinds = ast_backend.CINDEX.CursorKind
+        for cursor in tu.cursor.walk_preorder():
+            rel = self._rel(cursor.location)
+            if rel is None or not rel.startswith("src/"):
+                continue
+            if cursor.kind == kinds.CALL_EXPR:
+                self._check_call(cursor, rel)
+            elif cursor.kind in (
+                kinds.VAR_DECL,
+                kinds.FIELD_DECL,
+                kinds.PARM_DECL,
+                kinds.TYPEDEF_DECL,
+                kinds.TYPE_ALIAS_DECL,
+            ):
+                self._check_decl_type(cursor, rel)
+                if cursor.kind == kinds.VAR_DECL:
+                    self._check_thread_local(cursor, rel)
+            elif cursor.kind in (
+                kinds.FUNCTION_DECL,
+                kinds.CXX_METHOD,
+            ) and "merge" in cursor.spelling.lower():
+                if cursor.is_definition():
+                    self._check_float_in_merge(cursor)
+
+    def run(self) -> list[Finding]:
+        """Parses every src/ TU in the compile database and lints it.
+        Headers are reached through their including TUs; the CLI filters
+        findings when explicit paths were requested."""
+        for file, args in sorted(self.db.items()):
+            try:
+                rel = str(Path(file).resolve().relative_to(self.root))
+            except ValueError:
+                continue
+            if not rel.startswith("src/"):
+                continue
+            tu = ast_backend.parse(Path(file), args)
+            if tu is None:
+                self.parse_failures.append(rel)
+                continue
+            self.lint_tu(tu)
+        return sorted(self._findings, key=lambda f: (f.path, f.line, f.rule))

@@ -74,6 +74,10 @@ SIM_CRITICAL = (
     # util hosts the .h2t v2 entropy coder and block cache: compressed trace
     # bytes (and therefore corpus digests) are a pure function of this code.
     "src/util",
+    # defense writes the attack x defense grid report and analysis scores the
+    # traces feeding it; both are CI-cmp'd byte surfaces at any --jobs.
+    "src/defense",
+    "src/analysis",
 )
 ALL_SRC = ("src",)
 THREAD_LOCAL_EXEMPT = ("src/util", "src/obs")
