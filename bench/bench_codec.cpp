@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "h2priv/core/scenario.hpp"
 #include "h2priv/capture/trace_codec.hpp"
 #include "h2priv/capture/trace_reader.hpp"
 #include "h2priv/capture/trace_view.hpp"
@@ -54,8 +55,7 @@ int main(int argc, char** argv) {
   const std::string root =
       (std::filesystem::temp_directory_path() / "bench_codec").string();
   std::filesystem::remove_all(root);
-  core::RunConfig cfg;
-  cfg.attack_enabled = true;
+  core::RunConfig cfg = core::scenario_config("table2");
   cfg.seed = 1'000;
   cfg.capture.corpus_dir = root;
   cfg.capture.scenario = "table2";

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "h2priv/core/scenario.hpp"
 #include "h2priv/capture/replay.hpp"
 #include "h2priv/capture/trace_reader.hpp"
 #include "h2priv/corpus/score.hpp"
@@ -61,8 +62,7 @@ int main(int argc, char** argv) {
   const std::string root =
       (std::filesystem::temp_directory_path() / "bench_corpus_score").string();
   std::filesystem::remove_all(root);
-  core::RunConfig cfg;
-  cfg.attack_enabled = true;
+  core::RunConfig cfg = core::scenario_config("table2");
   cfg.seed = 1'000;
   cfg.capture.corpus_dir = root;
   cfg.capture.scenario = "table2";

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "h2priv/core/scenario.hpp"
 #include "h2priv/capture/corpus.hpp"
 #include "h2priv/capture/replay.hpp"
 #include "h2priv/capture/trace_format.hpp"
@@ -32,8 +33,7 @@ int main(int argc, char** argv) {
   const std::string corpus =
       (std::filesystem::temp_directory_path() / "bench_replay_corpus").string();
   std::filesystem::create_directories(corpus);
-  core::RunConfig cfg;
-  cfg.attack_enabled = true;
+  core::RunConfig cfg = core::scenario_config("table2");
   cfg.capture.corpus_dir = corpus;
   cfg.capture.scenario = "table2";
   const bench::Batch live = bench::run_batch(cfg, runs);

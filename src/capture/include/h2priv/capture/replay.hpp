@@ -93,4 +93,32 @@ void replay_into(const TraceFile& trace, core::TrafficMonitor& monitor);
 /// of trace length. Verdict-identical to replay().
 [[nodiscard]] ReplayResult replay(const TraceFile& trace);
 
+/// One client connection demultiplexed out of a fleet trace. Observation
+/// timestamps are rebased to client-local time (-start_offset_ns), and
+/// `meta` is a synthesized single-connection view (client seed, party order
+/// and horizon from the kFleet entry), so every single-connection replay and
+/// scoring path applies to a demuxed connection unchanged.
+struct DemuxedConn {
+  TraceMeta meta;
+  FleetConn info;
+  std::vector<analysis::PacketObservation> packets;
+  std::vector<analysis::RecordObservation> records_c2s;
+  std::vector<analysis::RecordObservation> records_s2c;
+};
+
+/// Splits a fleet trace into per-connection observation streams via the
+/// kConnIds columns. Throws TraceError if the trace is not a fleet trace or
+/// any fleet/conn-id structure is malformed (out-of-range ids, column counts
+/// disagreeing with the packet/record sections, ...).
+[[nodiscard]] std::vector<DemuxedConn> demux_fleet(const TraceFile& trace);
+
+/// Replays one demuxed connection through a fresh monitor and scores it —
+/// the per-client analogue of replay(); the stored per-connection summary is
+/// the fidelity cross-check.
+[[nodiscard]] ReplayResult replay_conn(const DemuxedConn& conn);
+
+/// Demultiplexes and replays every connection of a fleet trace, in
+/// connection-id order.
+[[nodiscard]] std::vector<ReplayResult> replay_fleet(const TraceFile& trace);
+
 }  // namespace h2priv::capture

@@ -45,6 +45,10 @@ namespace h2priv::capture {
     case Section::kGroundTruth:
     case Section::kSummary:
       return 1;  // row layout unchanged, compressed as one stream
+    case Section::kFleet:
+      return 1;  // per-connection rows, one stream
+    case Section::kConnIds:
+      return 3;  // packet ids, c2s record ids, s2c record ids
     default:
       return 0;  // not compressible
   }

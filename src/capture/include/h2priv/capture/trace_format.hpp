@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "h2priv/analysis/ground_truth.hpp"
 #include "h2priv/defense/defense.hpp"
 #include "h2priv/util/units.hpp"
 #include "h2priv/web/isidewith.hpp"
@@ -64,6 +65,16 @@ enum class Section : std::uint32_t {
   /// v2: uncompressed directory of every compressed section's blocks
   /// (streams, raw lengths, per-block coded sizes). See trace_codec.hpp.
   kBlockIndex = 7,
+  /// v2 fleet traces: per-connection provenance (seed, path profile, cache
+  /// outcome counts) plus each connection's ground-truth and summary blobs —
+  /// fleet traces carry no global kGroundTruth/kSummary sections because
+  /// per-connection TCP sequence spaces overlap and instance ids restart.
+  kFleet = 8,
+  /// v2 fleet traces: per-packet / per-record connection-id columns that let
+  /// a reader demultiplex the interleaved capture back into per-client
+  /// observation streams. Single-connection traces never write kFleet or
+  /// kConnIds, so their bytes are identical to pre-fleet writers.
+  kConnIds = 9,
 };
 
 /// v2: set on a trailer-table section id whose payload is block-compressed;
@@ -113,6 +124,12 @@ struct TraceMeta {
   /// meta section only when enabled() — undefended traces stay byte-identical
   /// to pre-defense writers.
   defense::DefenseConfig defense{};
+  /// Fleet trace (meta flag 0x40): the file interleaves N connections and
+  /// carries kFleet + kConnIds sections. party_order / attack_horizon_ns in
+  /// this global meta are unused (zeroed); the per-connection values live in
+  /// the kFleet section. Single-connection traces never set the flag, so
+  /// their meta bytes are unchanged.
+  bool fleet = false;
 };
 
 /// One object's scored outcome as stored in the kSummary section — the live
@@ -143,6 +160,39 @@ struct TraceSummary {
   std::int64_t sequence_positions_correct = 0;
 
   friend bool operator==(const TraceSummary&, const TraceSummary&) = default;
+};
+
+/// One connection of a fleet trace (kFleet section): the per-client run
+/// provenance plus that client's own ground truth and scored verdict. The
+/// observation columns (packets/records) stay in the shared sections and are
+/// attributed to connections through kConnIds; timestamps there are global
+/// (client-local time + start_offset_ns), so a demultiplexer rebases them by
+/// -start_offset_ns to recover the client-local observation stream.
+struct FleetConn {
+  std::uint64_t client_seed = 0;
+  std::int64_t start_offset_ns = 0;
+  std::int64_t attack_horizon_ns = 0;
+  std::array<int, web::kPartyCount> party_order{};
+  /// Heterogeneous path profile the client ran under (provenance).
+  std::int64_t client_hop_delay_ns = 0;
+  std::int64_t server_hop_delay_ns = 0;
+  std::int64_t link_rate_bps = 0;
+  /// Cache-tier outcome counts for this client's requests (all zero when the
+  /// fleet ran cache-off).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_stale = 0;
+
+  analysis::GroundTruth truth;
+  TraceSummary summary;
+};
+
+/// Decoded kConnIds section: one connection index per stored packet and per
+/// stored record, in section order. Every id is validated < n_conns.
+struct ConnIdColumns {
+  std::vector<std::uint32_t> packets;
+  std::vector<std::uint32_t> records_c2s;
+  std::vector<std::uint32_t> records_s2c;
 };
 
 }  // namespace h2priv::capture

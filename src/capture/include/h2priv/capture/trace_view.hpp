@@ -77,6 +77,10 @@ inline constexpr std::uint64_t kFnv1aInit = 0xcbf29ce484222325ULL;
     util::BytesView payload, std::uint64_t count, net::Direction dir);
 [[nodiscard]] analysis::GroundTruth decode_ground_truth(util::BytesView payload);
 [[nodiscard]] TraceSummary decode_summary(util::BytesView payload);
+/// Decodes a raw kFleet payload; `count` is the section's trailer count and
+/// must match the encoded connection count.
+[[nodiscard]] std::vector<FleetConn> decode_fleet(util::BytesView payload,
+                                                  std::uint64_t count);
 
 /// Streaming decoder over the packets section: one PacketObservation per
 /// next() call, O(1) state. Restartable by constructing a fresh cursor.
@@ -154,6 +158,13 @@ class TraceFile {
       net::Direction dir) const;
   [[nodiscard]] analysis::GroundTruth ground_truth() const;
   [[nodiscard]] TraceSummary summary() const;
+  /// Decodes the kFleet section (per-connection provenance + blobs). Throws
+  /// TraceError if absent or malformed.
+  [[nodiscard]] std::vector<FleetConn> fleet() const;
+  /// Decodes and fully validates the kConnIds columns: counts must match the
+  /// packets/records sections and every id must be below the fleet
+  /// connection count. Throws TraceError on any inconsistency.
+  [[nodiscard]] ConnIdColumns conn_ids() const;
 
   [[nodiscard]] std::uint64_t file_size() const noexcept { return image_.size(); }
   /// FNV-1a 64 of the whole image, chunk-streamed; computed once, cached.

@@ -26,6 +26,14 @@
 
 namespace h2priv::capture {
 
+/// Row encoders shared by the single-connection sections (kGroundTruth /
+/// kSummary) and the per-connection blobs inside a kFleet section. Returns
+/// the instance count for the ground truth (its section count). Throws
+/// TraceError if instance ids are not sequential.
+std::uint64_t encode_ground_truth(util::ByteWriter& buf,
+                                  const analysis::GroundTruth& truth);
+void encode_summary(util::ByteWriter& buf, const TraceSummary& summary);
+
 class TraceWriter {
  public:
   /// Opens `path` and writes the fixed header. Throws TraceError on I/O
@@ -37,9 +45,19 @@ class TraceWriter {
   /// finish() explicitly when you care).
   ~TraceWriter();
 
+  /// Switches the writer into fleet mode: `conns` (one entry per client
+  /// connection, index = connection id) is encoded into a kFleet section and
+  /// every subsequent add_packet/add_record must carry a conn_id below
+  /// conns.size(), recorded in the kConnIds columns. Must be called before
+  /// the first observation; fleet traces take no global ground truth or
+  /// summary (those live per connection in `conns`). Sets meta flag 0x40.
+  void begin_fleet(const std::vector<FleetConn>& conns);
+
   /// Observations must arrive in capture order (the monitor's order).
-  void add_packet(const analysis::PacketObservation& p);
-  void add_record(const analysis::RecordObservation& r);
+  /// `conn_id` attributes the observation to a fleet connection; it must be
+  /// 0 outside fleet mode (single-connection traces stay byte-identical).
+  void add_packet(const analysis::PacketObservation& p, std::uint32_t conn_id = 0);
+  void add_record(const analysis::RecordObservation& r, std::uint32_t conn_id = 0);
 
   void set_ground_truth(const analysis::GroundTruth& truth);
   void set_summary(const TraceSummary& summary);
@@ -83,7 +101,11 @@ class TraceWriter {
   BlockColumnWriter rec_cols_s2c_;
   BlockColumnWriter truth_cols_;
   BlockColumnWriter summary_cols_;
+  BlockColumnWriter fleet_cols_;    // per-connection rows (fleet mode)
+  BlockColumnWriter conn_cols_;     // connection-id columns (fleet mode)
 
+  bool fleet_mode_ = false;
+  std::uint64_t n_conns_ = 0;
   std::uint64_t n_packets_ = 0;
   std::uint64_t n_records_c2s_ = 0;
   std::uint64_t n_records_s2c_ = 0;

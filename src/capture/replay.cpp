@@ -349,6 +349,72 @@ ReplayResult replay(const TraceReader& trace) {
                        trace.records(net::Direction::kServerToClient), stored);
 }
 
+std::vector<DemuxedConn> demux_fleet(const TraceFile& trace) {
+  if (!trace.meta().fleet) throw TraceError("not a fleet trace");
+  std::vector<FleetConn> conns = trace.fleet();
+  const ConnIdColumns ids = trace.conn_ids();
+  std::vector<DemuxedConn> out(conns.size());
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    DemuxedConn& d = out[i];
+    d.meta = trace.meta();
+    d.meta.fleet = false;
+    d.meta.seed = conns[i].client_seed;
+    d.meta.party_order = conns[i].party_order;
+    d.meta.attack_horizon_ns = conns[i].attack_horizon_ns;
+    d.info = std::move(conns[i]);
+  }
+
+  analysis::PacketObservation p;
+  std::size_t idx = 0;
+  for (PacketCursor cursor = trace.packets(); cursor.next(p); ++idx) {
+    DemuxedConn& d = out[ids.packets[idx]];  // ids validated < conns.size()
+    p.time.ns -= d.info.start_offset_ns;
+    d.packets.push_back(p);
+  }
+  for (const auto dir :
+       {net::Direction::kClientToServer, net::Direction::kServerToClient}) {
+    const bool c2s = dir == net::Direction::kClientToServer;
+    const std::vector<std::uint32_t>& col = c2s ? ids.records_c2s : ids.records_s2c;
+    std::vector<analysis::RecordObservation> recs = trace.records(dir);
+    if (recs.size() != col.size()) {
+      throw TraceError("record count disagrees with connection-id column");
+    }
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      DemuxedConn& d = out[col[i]];
+      recs[i].time.ns -= d.info.start_offset_ns;
+      (c2s ? d.records_c2s : d.records_s2c).push_back(recs[i]);
+    }
+  }
+  return out;
+}
+
+ReplayResult replay_conn(const DemuxedConn& conn) {
+  core::TrafficMonitor monitor;
+  const std::array<util::Bytes, 2> streams = {
+      synthesize_stream(conn.packets, conn.records_c2s,
+                        net::Direction::kClientToServer),
+      synthesize_stream(conn.packets, conn.records_s2c,
+                        net::Direction::kServerToClient)};
+  for (const analysis::PacketObservation& p : conn.packets) {
+    util::BytesView payload;
+    if (p.payload_len > 0) {
+      const util::Bytes& stream = streams[static_cast<std::size_t>(p.dir)];
+      payload = util::BytesView{stream.data() + (p.seq - 1), p.payload_len};
+    }
+    monitor.observe(p, payload);
+  }
+  return finish_replay(conn.meta, conn.info.truth, monitor, conn.records_c2s,
+                       conn.records_s2c, conn.info.summary);
+}
+
+std::vector<ReplayResult> replay_fleet(const TraceFile& trace) {
+  const std::vector<DemuxedConn> conns = demux_fleet(trace);
+  std::vector<ReplayResult> out;
+  out.reserve(conns.size());
+  for (const DemuxedConn& conn : conns) out.push_back(replay_conn(conn));
+  return out;
+}
+
 ReplayResult replay(const TraceFile& trace) {
   core::MonitorConfig config;
   config.retain_packets = false;  // chunked engine: O(1) packet memory

@@ -75,6 +75,12 @@ void finalize_section(SectionBlocks& sb, const SectionInfo& info) {
       }
     }
   }
+  // kConnIds' count is the packet count; stream 0 stores one varint id per
+  // packet, at least one byte each. (Record-id streams are bounded by their
+  // own sections' counts at decode time.)
+  if (sb.id == Section::kConnIds && sb.stream_raw_len[0] < info.count) {
+    throw TraceError("block index: count inconsistent with conn-id stream");
+  }
 }
 
 }  // namespace

@@ -160,6 +160,11 @@ std::vector<SectionInfo> validate_and_index(util::BytesView image,
     if (s.compressed && version < 2) {
       throw TraceError("compressed section in a v1 trace");
     }
+    if (version < 2 && (s.id == Section::kFleet || s.id == Section::kConnIds)) {
+      // Fleet sections were introduced with the v2 writer; a v1 file
+      // carrying one is forged or corrupt, not a legacy layout.
+      throw TraceError("fleet section in a v1 trace");
+    }
     if (s.compressed && section_stream_count(s.id) == 0) {
       // kMeta must decode at open and kBlockIndex is the decompression
       // bootstrap — neither may itself be compressed.
@@ -223,6 +228,7 @@ TraceMeta decode_meta(util::BytesView payload) {
     meta.attack_enabled = (flags & 0x01) != 0;
     meta.pad_sensitive_objects = (flags & 0x02) != 0;
     meta.push_emblems = (flags & 0x04) != 0;
+    meta.fleet = (flags & 0x40) != 0;
     if ((flags & 0x08) != 0) meta.manual_spacing_ns = get_svarint(r);
     if ((flags & 0x10) != 0) meta.manual_bandwidth_bps = get_svarint(r);
     meta.deadline_ns = get_svarint(r);
@@ -297,6 +303,41 @@ analysis::GroundTruth decode_ground_truth(util::BytesView payload) {
       if ((flags & 0x02) != 0) truth.mark_complete(id);
     }
     return truth;
+  });
+}
+
+std::vector<FleetConn> decode_fleet(util::BytesView payload, std::uint64_t count) {
+  return decode_guard([&] {
+    util::ByteReader r(payload);
+    const std::uint64_t n = get_varint(r);
+    if (n != count) throw TraceError("fleet connection count disagrees with trailer");
+    if (n == 0) throw TraceError("fleet section with no connections");
+    // Each connection row costs well over one byte; refuse counts the
+    // payload cannot hold before reserving.
+    if (n > r.remaining()) {
+      throw std::invalid_argument("fleet count exceeds payload");
+    }
+    std::vector<FleetConn> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      FleetConn c;
+      c.client_seed = get_varint(r);
+      c.start_offset_ns = get_svarint(r);
+      c.attack_horizon_ns = get_svarint(r);
+      for (int& party : c.party_order) party = static_cast<int>(get_svarint(r));
+      c.client_hop_delay_ns = get_svarint(r);
+      c.server_hop_delay_ns = get_svarint(r);
+      c.link_rate_bps = get_svarint(r);
+      c.cache_hits = get_varint(r);
+      c.cache_misses = get_varint(r);
+      c.cache_stale = get_varint(r);
+      const std::uint64_t truth_len = get_varint(r);
+      c.truth = decode_ground_truth(r.bytes(static_cast<std::size_t>(truth_len)));
+      const std::uint64_t summary_len = get_varint(r);
+      c.summary = decode_summary(r.bytes(static_cast<std::size_t>(summary_len)));
+      out.push_back(std::move(c));
+    }
+    return out;
   });
 }
 
@@ -495,6 +536,59 @@ TraceSummary TraceFile::summary() const {
   decompress_section(section_view(image_, *s), *blocks_->find(s->id), blocks_->model,
                      raw);
   return decode_summary(util::BytesView{raw.data(), raw.size()});
+}
+
+std::vector<FleetConn> TraceFile::fleet() const {
+  const SectionInfo* s = section(Section::kFleet);
+  if (s == nullptr) throw TraceError("trace has no fleet section");
+  if (!s->compressed) return decode_fleet(section_view(image_, *s), s->count);
+  util::Bytes raw;
+  decompress_section(section_view(image_, *s), *blocks_->find(s->id), blocks_->model,
+                     raw);
+  return decode_fleet(util::BytesView{raw.data(), raw.size()}, s->count);
+}
+
+ConnIdColumns TraceFile::conn_ids() const {
+  const SectionInfo* s = section(Section::kConnIds);
+  if (s == nullptr) throw TraceError("trace has no connection-id section");
+  const SectionInfo* fleet_s = section(Section::kFleet);
+  if (fleet_s == nullptr) {
+    throw TraceError("connection ids without a fleet section");
+  }
+  if (!s->compressed) {
+    // The writer always emits kConnIds through the block codec; a raw
+    // payload has no defined column layout.
+    throw TraceError("connection-id section must be block-compressed");
+  }
+  const SectionInfo* pkts = section(Section::kPackets);
+  if (pkts == nullptr || pkts->count != s->count) {
+    throw TraceError("connection-id count disagrees with packets section");
+  }
+  const std::uint64_t n_conns = fleet_s->count;
+  const SectionInfo* c2s = section(Section::kRecordsC2S);
+  const SectionInfo* s2c = section(Section::kRecordsS2C);
+  const util::BytesView payload = section_view(image_, *s);
+  const SectionBlocks& sb = *blocks_->find(s->id);
+  return decode_guard([&] {
+    ConnIdColumns out;
+    const auto read_column = [&](std::uint32_t stream, std::uint64_t count,
+                                 std::vector<std::uint32_t>& ids) {
+      StreamReader r(payload, sb, stream, *blocks_);
+      ids.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t id = r.varint();
+        if (id >= n_conns) throw TraceError("connection id out of range");
+        ids.push_back(static_cast<std::uint32_t>(id));
+      }
+      if (r.remaining() != 0) {
+        throw TraceError("trailing bytes in connection-id stream");
+      }
+    };
+    read_column(0, s->count, out.packets);
+    read_column(1, c2s != nullptr ? c2s->count : 0, out.records_c2s);
+    read_column(2, s2c != nullptr ? s2c->count : 0, out.records_s2c);
+    return out;
+  });
 }
 
 std::uint64_t TraceFile::digest() const {

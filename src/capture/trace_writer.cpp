@@ -47,6 +47,37 @@ void put_intervals(util::ByteWriter& w,
 
 }  // namespace
 
+std::uint64_t encode_ground_truth(util::ByteWriter& buf,
+                                  const analysis::GroundTruth& truth) {
+  const std::vector<analysis::ResponseInstance>& instances = truth.instances();
+  put_varint(buf, instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const analysis::ResponseInstance& inst = instances[i];
+    if (inst.id != i + 1) {
+      throw TraceError("ground truth instance ids are not sequential");
+    }
+    put_varint(buf, inst.object_id);
+    put_varint(buf, inst.stream_id);
+    std::uint8_t flags = 0;
+    if (inst.duplicate) flags |= 0x01;
+    if (inst.complete) flags |= 0x02;
+    buf.u8(flags);
+    put_intervals(buf, inst.data);
+    put_intervals(buf, inst.headers);
+  }
+  return instances.size();
+}
+
+void encode_summary(util::ByteWriter& buf, const TraceSummary& summary) {
+  put_varint(buf, summary.monitor_packets);
+  put_svarint(buf, summary.monitor_gets);
+  put_verdict(buf, summary.html);
+  for (const ObjectVerdict& v : summary.emblems_by_position) put_verdict(buf, v);
+  put_varint(buf, summary.predicted_sequence.size());
+  for (const std::string& s : summary.predicted_sequence) put_string(buf, s);
+  put_svarint(buf, summary.sequence_positions_correct);
+}
+
 TraceWriter::TraceWriter(const std::string& path, TraceMeta meta)
     : meta_(std::move(meta)),
       out_(path, std::ios::binary | std::ios::trunc),
@@ -54,7 +85,9 @@ TraceWriter::TraceWriter(const std::string& path, TraceMeta meta)
       rec_cols_c2s_(Section::kRecordsC2S, section_stream_count(Section::kRecordsC2S)),
       rec_cols_s2c_(Section::kRecordsS2C, section_stream_count(Section::kRecordsS2C)),
       truth_cols_(Section::kGroundTruth, 1),
-      summary_cols_(Section::kSummary, 1) {
+      summary_cols_(Section::kSummary, 1),
+      fleet_cols_(Section::kFleet, section_stream_count(Section::kFleet)),
+      conn_cols_(Section::kConnIds, section_stream_count(Section::kConnIds)) {
   if (!out_) throw TraceError("cannot open trace for writing: " + path);
   util::ByteWriter header(kHeaderBytes);
   header.bytes(util::BytesView{kMagic.data(), kMagic.size()});
@@ -75,12 +108,50 @@ TraceWriter::~TraceWriter() {
   }
 }
 
-void TraceWriter::add_packet(const analysis::PacketObservation& p) {
+void TraceWriter::begin_fleet(const std::vector<FleetConn>& conns) {
+  if (n_packets_ != 0 || n_records_c2s_ != 0 || n_records_s2c_ != 0) {
+    throw TraceError("begin_fleet must precede the first observation");
+  }
+  if (conns.empty()) throw TraceError("fleet trace needs at least one connection");
+  fleet_mode_ = true;
+  meta_.fleet = true;
+  n_conns_ = conns.size();
+  util::ByteWriter& buf = fleet_cols_.stream(0);
+  put_varint(buf, conns.size());
+  util::ByteWriter blob;
+  for (const FleetConn& c : conns) {
+    put_varint(buf, c.client_seed);
+    put_svarint(buf, c.start_offset_ns);
+    put_svarint(buf, c.attack_horizon_ns);
+    for (const int party : c.party_order) put_svarint(buf, party);
+    put_svarint(buf, c.client_hop_delay_ns);
+    put_svarint(buf, c.server_hop_delay_ns);
+    put_svarint(buf, c.link_rate_bps);
+    put_varint(buf, c.cache_hits);
+    put_varint(buf, c.cache_misses);
+    put_varint(buf, c.cache_stale);
+    blob.clear();
+    encode_ground_truth(blob, c.truth);
+    put_varint(buf, blob.size());
+    buf.bytes(blob.view());
+    blob.clear();
+    encode_summary(blob, c.summary);
+    put_varint(buf, blob.size());
+    buf.bytes(blob.view());
+  }
+}
+
+void TraceWriter::add_packet(const analysis::PacketObservation& p,
+                             std::uint32_t conn_id) {
   if ((p.flags & 0x80) != 0) {
     // Bit 7 of the packed tag byte carries the direction; no defined TCP
     // sim flag uses it (kFlagSyn..kFlagRst are the low four bits).
     throw TraceError("packet flags bit 7 is reserved");
   }
+  if (fleet_mode_ ? conn_id >= n_conns_ : conn_id != 0) {
+    throw TraceError("packet connection id out of range");
+  }
+  if (fleet_mode_) put_varint(conn_cols_.stream(0), conn_id);
   DirDeltas& st = pkt_state_[static_cast<std::size_t>(p.dir)];
   const auto dir_bit = static_cast<std::uint8_t>(static_cast<std::uint8_t>(p.dir) << 7);
   pkt_cols_.stream(0).u8(static_cast<std::uint8_t>(p.flags | dir_bit));
@@ -110,8 +181,13 @@ void TraceWriter::add_packet(const analysis::PacketObservation& p) {
   pkt_cols_.flush_full_blocks([&](util::BytesView b) { write_raw(b); });
 }
 
-void TraceWriter::add_record(const analysis::RecordObservation& r) {
+void TraceWriter::add_record(const analysis::RecordObservation& r,
+                             std::uint32_t conn_id) {
   const bool c2s = r.dir == net::Direction::kClientToServer;
+  if (fleet_mode_ ? conn_id >= n_conns_ : conn_id != 0) {
+    throw TraceError("record connection id out of range");
+  }
+  if (fleet_mode_) put_varint(conn_cols_.stream(c2s ? 1 : 2), conn_id);
   BlockColumnWriter& cols = c2s ? rec_cols_c2s_ : rec_cols_s2c_;
   DirDeltas& st = rec_state_[static_cast<std::size_t>(r.dir)];
   cols.stream(0).u8(static_cast<std::uint8_t>(r.type));
@@ -130,38 +206,22 @@ void TraceWriter::add_record(const analysis::RecordObservation& r) {
 }
 
 void TraceWriter::set_ground_truth(const analysis::GroundTruth& truth) {
+  if (fleet_mode_) {
+    throw TraceError("fleet traces carry per-connection ground truth");
+  }
   util::ByteWriter& buf = truth_cols_.stream(0);
   buf.clear();
-  const std::vector<analysis::ResponseInstance>& instances = truth.instances();
-  put_varint(buf, instances.size());
-  for (std::size_t i = 0; i < instances.size(); ++i) {
-    const analysis::ResponseInstance& inst = instances[i];
-    if (inst.id != i + 1) {
-      throw TraceError("ground truth instance ids are not sequential");
-    }
-    put_varint(buf, inst.object_id);
-    put_varint(buf, inst.stream_id);
-    std::uint8_t flags = 0;
-    if (inst.duplicate) flags |= 0x01;
-    if (inst.complete) flags |= 0x02;
-    buf.u8(flags);
-    put_intervals(buf, inst.data);
-    put_intervals(buf, inst.headers);
-  }
-  n_instances_ = instances.size();
+  n_instances_ = encode_ground_truth(buf, truth);
   have_truth_ = true;
 }
 
 void TraceWriter::set_summary(const TraceSummary& summary) {
+  if (fleet_mode_) {
+    throw TraceError("fleet traces carry per-connection summaries");
+  }
   util::ByteWriter& buf = summary_cols_.stream(0);
   buf.clear();
-  put_varint(buf, summary.monitor_packets);
-  put_svarint(buf, summary.monitor_gets);
-  put_verdict(buf, summary.html);
-  for (const ObjectVerdict& v : summary.emblems_by_position) put_verdict(buf, v);
-  put_varint(buf, summary.predicted_sequence.size());
-  for (const std::string& s : summary.predicted_sequence) put_string(buf, s);
-  put_svarint(buf, summary.sequence_positions_correct);
+  encode_summary(buf, summary);
   have_summary_ = true;
 }
 
@@ -206,6 +266,7 @@ std::uint64_t TraceWriter::finish() {
   if (meta_.manual_spacing_ns.has_value()) flags |= 0x08;
   if (meta_.manual_bandwidth_bps.has_value()) flags |= 0x10;
   if (meta_.defense.enabled()) flags |= 0x20;
+  if (fleet_mode_) flags |= 0x40;
   meta_buf.u8(flags);
   if (meta_.manual_spacing_ns) put_svarint(meta_buf, *meta_.manual_spacing_ns);
   if (meta_.manual_bandwidth_bps) put_svarint(meta_buf, *meta_.manual_bandwidth_bps);
@@ -230,6 +291,12 @@ std::uint64_t TraceWriter::finish() {
   emit_compressed(rec_cols_s2c_, Section::kRecordsS2C, n_records_s2c_);
   if (have_truth_) emit_compressed(truth_cols_, Section::kGroundTruth, n_instances_);
   if (have_summary_) emit_compressed(summary_cols_, Section::kSummary, 1);
+  if (fleet_mode_) {
+    emit_compressed(fleet_cols_, Section::kFleet, n_conns_);
+    // kConnIds' count mirrors the packets section; record-id stream lengths
+    // are bounded by the record sections' counts at decode time.
+    emit_compressed(conn_cols_, Section::kConnIds, n_packets_);
+  }
 
   util::ByteWriter index_buf;
   encode_block_index(index_buf, index_);

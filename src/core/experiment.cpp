@@ -291,6 +291,14 @@ RunResult run_once(const RunConfig& config) {
     trace_writer->finish();
   }
 
+  if (config.observations_out != nullptr) {
+    RunObservations& out = *config.observations_out;
+    out.packets = monitor.packets();
+    out.records_c2s = monitor.records(net::Direction::kClientToServer);
+    out.records_s2c = monitor.records(net::Direction::kServerToClient);
+    out.attack_horizon_ns = horizon.ns;
+  }
+
   reg.add(obs::Counter::kCoreRuns);
   if (result.page_complete) reg.add(obs::Counter::kCorePagesComplete);
   if (result.broken) reg.add(obs::Counter::kCoreBrokenRuns);

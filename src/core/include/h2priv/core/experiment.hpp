@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "h2priv/analysis/ground_truth.hpp"
+#include "h2priv/analysis/observation.hpp"
 #include "h2priv/net/packet.hpp"
 #include "h2priv/client/browser.hpp"
 #include "h2priv/core/attack.hpp"
@@ -62,6 +63,41 @@ struct CaptureOptions {
   }
 };
 
+/// Fleet-scale simulation (src/fleet): N concurrent clients with
+/// heterogeneous path profiles behind one shared gateway, with an optional
+/// caching reverse proxy between gateway and origin. Hung off RunConfig so
+/// every entry point (tools, benches, CI) configures a fleet the same way;
+/// run_once itself ignores it — fleet::run_fleet is the executor.
+struct FleetConfig {
+  /// Number of concurrent clients (0 = fleet mode off).
+  int clients = 0;
+  /// Cache capacity of the reverse-proxy tier in MiB (0 = cache off: every
+  /// request pays the full origin miss penalty profile of a lone client).
+  std::size_t cache_mb = 0;
+  /// Freshness lifetime of a cached object; between ttl and 2*ttl a hit is
+  /// served stale-while-revalidate style (kStale outcome).
+  util::Duration cache_ttl{util::seconds(30)};
+  /// Client page loads start uniformly spread over this window, so the
+  /// shared cache sees realistic interleaving instead of a thundering herd.
+  util::Duration start_spread{util::milliseconds(500)};
+  /// Extra origin latency a cache miss pays at the proxy (a stale
+  /// revalidation pays half). Zero with cache_mb == 0.
+  util::Duration miss_penalty{util::milliseconds(12)};
+
+  [[nodiscard]] bool enabled() const noexcept { return clients > 0; }
+};
+
+/// Raw observation streams of one run, exported for callers that multiplex
+/// several runs into one artifact (the fleet trace merger). Filled by
+/// run_once when RunConfig::observations_out points at an instance.
+struct RunObservations {
+  std::vector<analysis::PacketObservation> packets;
+  std::vector<analysis::RecordObservation> records_c2s;
+  std::vector<analysis::RecordObservation> records_s2c;
+  /// Phase-3 start (client-local ns) the predictor used; 0 when passive.
+  std::int64_t attack_horizon_ns = 0;
+};
+
 struct RunConfig {
   std::uint64_t seed = 1;
   PathConfig path{};
@@ -106,6 +142,14 @@ struct RunConfig {
   /// arrival order, before any drop decision). Used by the golden-trace
   /// regression tests to hash the exact wire bytes of a seeded run.
   std::function<void(net::Direction, const net::Packet&)> packet_tap;
+
+  /// Fleet-mode parameters; consumed by fleet::run_fleet, inert in run_once.
+  FleetConfig fleet{};
+
+  /// When non-null, run_once copies the monitor's packet/record observations
+  /// and the attack horizon here (the fleet merger's feed). Orthogonal to
+  /// `capture`, which writes a standalone .h2t instead.
+  RunObservations* observations_out = nullptr;
 };
 
 struct ObjectOutcome {

@@ -72,13 +72,30 @@ struct ScoreOptions {
   bool replay_verify = false;
 };
 
+/// One demultiplexed connection of a fleet trace, scored records-direct —
+/// the per-client analogue of a single-connection TraceScore.
+struct ConnScore {
+  std::uint64_t seed = 0;  ///< the client's own run seed (kFleet entry)
+  /// Records-direct recomputed verdict over the demuxed record streams.
+  capture::TraceSummary summary;
+  /// Recomputed verdict equals the per-connection summary stored in kFleet.
+  bool matches_stored_summary = false;
+};
+
 /// One trace's scored outcome (phase A) plus its classification (phase B).
 struct TraceScore {
   std::uint64_t seed = 0;
   std::string file;  ///< corpus-root-relative path from the manifest
   std::uint64_t file_bytes = 0;
-  /// Records-direct recomputed verdict (capture::score_with_predictor).
+  /// Records-direct recomputed verdict (capture::score_with_predictor). For
+  /// fleet traces this holds corpus-fold aggregates only (packet/GET/sequence
+  /// totals over `conns`); the real verdicts are per connection.
   capture::TraceSummary summary;
+  /// Fleet trace: per-connection verdicts live in `conns`, and the trace is
+  /// excluded from the classifier split (its burst profile would mix N
+  /// clients' pages into one unlabeled blob).
+  bool fleet = false;
+  std::vector<ConnScore> conns;  ///< connection-id order; empty unless fleet
   bool had_stored_summary = false;
   bool matches_stored_summary = false;  ///< recomputed == stored verdict
   bool replay_verified = false;         ///< only with ScoreOptions::replay_verify

@@ -66,12 +66,66 @@ std::string feature_names(unsigned features) {
 
 namespace {
 
+/// Phase A, fleet flavour: demultiplex the trace through its kConnIds
+/// columns and score every connection records-direct, exactly like the
+/// single-connection fast path runs over a whole trace. The per-connection
+/// summaries stored in kFleet are the fidelity cross-check; the trace-level
+/// summary keeps only corpus-fold aggregates. Fleet traces never enter the
+/// classifier split.
+TraceScore score_fleet(const capture::TraceFile& trace,
+                       const capture::ManifestEntry& entry,
+                       const ScoreOptions& options) {
+  TraceScore ts;
+  ts.seed = entry.seed;
+  ts.file = entry.file;
+  ts.file_bytes = trace.file_size();
+  ts.fleet = true;
+  ts.had_stored_summary = true;  // every kFleet entry carries its summary
+  ts.matches_stored_summary = true;
+  ts.summary.monitor_packets = trace.packet_count();
+
+  const std::vector<capture::DemuxedConn> conns = capture::demux_fleet(trace);
+  const std::vector<capture::FleetConn>& fleet = trace.fleet();
+  ts.conns.reserve(conns.size());
+  for (std::size_t k = 0; k < conns.size(); ++k) {
+    const capture::DemuxedConn& conn = conns[k];
+    const core::ObjectPredictor predictor(conn.records_s2c,
+                                          core::isidewith_catalog());
+    ConnScore cs;
+    cs.seed = conn.info.client_seed;
+    cs.summary = capture::score_with_predictor(
+        conn.meta, conn.info.truth, predictor,
+        static_cast<std::uint64_t>(conn.packets.size()),
+        capture::count_gets(conn.records_c2s));
+    cs.matches_stored_summary = cs.summary == fleet[k].summary;
+    ts.matches_stored_summary &= cs.matches_stored_summary;
+    ts.summary.monitor_gets += cs.summary.monitor_gets;
+    ts.summary.sequence_positions_correct +=
+        cs.summary.sequence_positions_correct;
+    ts.conns.push_back(std::move(cs));
+  }
+
+  if (options.replay_verify) {
+    ts.replay_verified = true;
+    const std::vector<capture::ReplayResult> replays =
+        capture::replay_fleet(trace);
+    for (std::size_t k = 0; k < replays.size(); ++k) {
+      ts.replay_verified &= replays[k].records_match &&
+                            replays[k].summary_matches &&
+                            replays[k].summary == ts.conns[k].summary;
+    }
+  }
+  obs::count(obs::Counter::kCorpusTracesScored);
+  return ts;
+}
+
 /// Phase A: score one manifest entry off its mmap'd trace. Everything here
 /// is a pure function of the trace bytes — safe to run on any worker.
 TraceScore score_one(const Corpus& corpus, const capture::ManifestEntry& entry,
                      const ScoreOptions& options) {
   const capture::TraceFile trace =
       capture::TraceFile::open(trace_path(corpus, entry));
+  if (trace.meta().fleet) return score_fleet(trace, entry, options);
   TraceScore ts;
   ts.seed = entry.seed;
   ts.file = entry.file;
@@ -114,6 +168,7 @@ void classify_split(std::vector<TraceScore>& traces, const ScoreOptions& options
   analysis::Fingerprinter nearest;
   analysis::CentroidModel centroid;
   for (TraceScore& ts : traces) {
+    if (ts.fleet) continue;  // N clients' bursts, no single label
     ts.trained = ts.seed % options.train_mod == 0;
     if (!ts.trained) continue;
     obs::count(obs::Counter::kScoreTrainTraces);
@@ -129,7 +184,7 @@ void classify_split(std::vector<TraceScore>& traces, const ScoreOptions& options
   if (untrained) return;
 
   for (TraceScore& ts : traces) {
-    if (ts.trained) continue;
+    if (ts.fleet || ts.trained) continue;
     obs::count(obs::Counter::kScoreEvalTraces);
     obs::count(obs::Counter::kScoreClassifications);
     switch (options.classifier) {
@@ -225,14 +280,27 @@ ScoreReport score_corpus(const Corpus& corpus, const ScoreOptions& options) {
     report.total_file_bytes += ts.file_bytes;
     report.total_packets += ts.summary.monitor_packets;
     report.total_gets += ts.summary.monitor_gets;
-    report.html_identified += ts.summary.html.identified ? 1 : 0;
-    for (const capture::ObjectVerdict& v : ts.summary.emblems_by_position) {
-      report.attack_successes += v.attack_success ? 1 : 0;
-    }
     report.sequence_positions_correct += ts.summary.sequence_positions_correct;
-    report.stored_summaries += ts.had_stored_summary ? 1 : 0;
-    if (ts.had_stored_summary && !ts.matches_stored_summary) {
-      ++report.summary_mismatches;
+    if (ts.fleet) {
+      // Per-connection verdicts fold one unit per client, so a fleet trace
+      // counts like N single-connection traces in the corpus totals.
+      for (const ConnScore& cs : ts.conns) {
+        report.html_identified += cs.summary.html.identified ? 1 : 0;
+        for (const capture::ObjectVerdict& v : cs.summary.emblems_by_position) {
+          report.attack_successes += v.attack_success ? 1 : 0;
+        }
+        ++report.stored_summaries;
+        if (!cs.matches_stored_summary) ++report.summary_mismatches;
+      }
+    } else {
+      report.html_identified += ts.summary.html.identified ? 1 : 0;
+      for (const capture::ObjectVerdict& v : ts.summary.emblems_by_position) {
+        report.attack_successes += v.attack_success ? 1 : 0;
+      }
+      report.stored_summaries += ts.had_stored_summary ? 1 : 0;
+      if (ts.had_stored_summary && !ts.matches_stored_summary) {
+        ++report.summary_mismatches;
+      }
     }
     if (options.replay_verify && !ts.replay_verified) ++report.replay_failures;
     report.train_count += ts.trained ? 1 : 0;
@@ -290,6 +358,7 @@ std::string format_report(const ScoreReport& report) {
        << " packets=" << ts.summary.monitor_packets
        << " gets=" << ts.summary.monitor_gets
        << " seq_correct=" << ts.summary.sequence_positions_correct;
+    if (ts.fleet) os << " fleet=" << ts.conns.size();
     if (ts.trained) {
       os << " split=train";
     } else if (!ts.predicted_label.empty()) {
@@ -298,6 +367,24 @@ std::string format_report(const ScoreReport& report) {
          << (ts.correct ? " correct" : " wrong");
     }
     os << "\n";
+    // Fleet traces: one verdict line per demultiplexed connection, in
+    // connection-id order (absent for single-connection traces, so existing
+    // corpora format byte-identically).
+    for (std::size_t k = 0; k < ts.conns.size(); ++k) {
+      const ConnScore& cs = ts.conns[k];
+      std::int64_t emblem_successes = 0;
+      for (const capture::ObjectVerdict& v : cs.summary.emblems_by_position) {
+        emblem_successes += v.attack_success ? 1 : 0;
+      }
+      os << "  conn " << k << " seed " << cs.seed
+         << " html=" << (cs.summary.html.identified ? "yes" : "no")
+         << " emblems=" << emblem_successes << '/'
+         << cs.summary.emblems_by_position.size()
+         << " seq=" << cs.summary.sequence_positions_correct << '/'
+         << cs.summary.emblems_by_position.size()
+         << (cs.matches_stored_summary ? " summary=ok" : " summary=MISMATCH")
+         << "\n";
+    }
   }
 
   // ROC / precision-recall, derived per point from the integer counts. The

@@ -9,6 +9,7 @@
 
 #include "h2priv/capture/trace_view.hpp"
 #include "h2priv/core/experiment.hpp"
+#include "h2priv/core/scenario.hpp"
 #include "h2priv/obs/metrics.hpp"
 
 namespace h2priv::defense {
@@ -140,9 +141,10 @@ GridReport run_grid(const GridOptions& options) {
     const std::string dir = options.root + "/" + name;
     std::filesystem::remove_all(dir);
 
-    core::RunConfig rc;
+    // The scenario registry supplies the run shape (the default "table2"
+    // arms the attack pipeline); the defense preset layers on top.
+    core::RunConfig rc = core::scenario_config(options.scenario);
     rc.seed = options.base_seed;
-    rc.attack_enabled = true;
     rc.server.defense = *config;
     rc.capture.corpus_dir = dir;
     rc.capture.scenario = options.scenario + "+" + name;

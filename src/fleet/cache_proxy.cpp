@@ -1,0 +1,66 @@
+#include "h2priv/fleet/cache_proxy.hpp"
+
+namespace h2priv::fleet {
+
+CacheProxy::CacheProxy(sim::Simulator& sim, CacheProxyConfig config)
+    : sim_(sim), config_(config) {}
+
+CacheOutcome CacheProxy::request(const std::string& path, std::size_t size) {
+  const auto it = entries_.find(path);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    insert(path, size);
+    return CacheOutcome::kMiss;
+  }
+
+  Entry& e = it->second;
+  // LRU touch on every access.
+  lru_.splice(lru_.begin(), lru_, e.lru_it);
+  if (sim_.now() < e.fresh_until) {
+    ++stats_.hits;
+    return CacheOutcome::kHit;
+  }
+  // Stale window [ttl, 2*ttl): serve stale, revalidation makes it fresh
+  // again — cancel the pending expiry and re-arm from now.
+  ++stats_.stale;
+  sim_.cancel(e.expiry);
+  e.fresh_until = sim_.now() + config_.ttl;
+  arm_expiry(path, e);
+  return CacheOutcome::kStale;
+}
+
+void CacheProxy::insert(const std::string& path, std::size_t size) {
+  if (size > config_.capacity_bytes) return;  // uncacheable; pass through
+  while (resident_bytes_ + size > config_.capacity_bytes && !lru_.empty()) {
+    evict(entries_.find(lru_.back()), /*count_eviction=*/true);
+  }
+  Entry e;
+  e.size = size;
+  e.fresh_until = sim_.now() + config_.ttl;
+  lru_.push_front(path);
+  e.lru_it = lru_.begin();
+  auto [slot, inserted] = entries_.emplace(path, std::move(e));
+  arm_expiry(path, slot->second);
+  resident_bytes_ += size;
+}
+
+void CacheProxy::evict(std::map<std::string, Entry>::iterator it,
+                       bool count_eviction) {
+  sim_.cancel(it->second.expiry);
+  resident_bytes_ -= it->second.size;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  if (count_eviction) ++stats_.evictions;
+}
+
+void CacheProxy::arm_expiry(const std::string& path, Entry& e) {
+  // Hard expiry at the end of the stale window. Revalidation cancels and
+  // re-arms; eviction cancels. The captured path keys the lookup, so a slot
+  // reused by a later insert is found by its own (newer) event only.
+  e.expiry = sim_.schedule_at(e.fresh_until + config_.ttl, [this, path] {
+    const auto it = entries_.find(path);
+    if (it != entries_.end()) evict(it, /*count_eviction=*/true);
+  });
+}
+
+}  // namespace h2priv::fleet

@@ -1,0 +1,82 @@
+// The caching reverse-proxy tier between the shared gateway and the origin.
+//
+// A CacheProxy is a deterministic object cache driven by the same
+// discrete-event core as everything else in the stack: TTL expiry is a
+// sim::Simulator event per resident object (the simulator's binary heap is
+// the expiry wheel), so freshness transitions interleave with request
+// arrivals in exact timestamp order — no wall clocks, no scan passes.
+//
+// Freshness model (stale-while-revalidate):
+//   age in [0, ttl)      -> kHit    served from cache
+//   age in [ttl, 2*ttl)  -> kStale  served stale, revalidation refreshes it
+//   age >= 2*ttl         -> entry expired (removed by its event) -> kMiss
+//
+// Capacity is enforced in bytes with LRU eviction on insert; objects larger
+// than the whole cache are passed through uncached.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+
+#include "h2priv/sim/simulator.hpp"
+#include "h2priv/util/units.hpp"
+
+namespace h2priv::fleet {
+
+/// Per-request cache verdict. Encoded values are stable: they index the
+/// contiguous obs::Counter::kCacheHits..kCacheStale block
+/// (obs::cache_outcome_counter) and appear in .h2t fleet sections.
+enum class CacheOutcome { kHit = 0, kMiss = 1, kStale = 2 };
+
+struct CacheProxyConfig {
+  /// Cache capacity in bytes (0 = every request misses: cache off).
+  std::size_t capacity_bytes = 0;
+  /// Freshness lifetime; entries serve stale until 2*ttl, then expire.
+  util::Duration ttl{util::seconds(30)};
+};
+
+struct CacheProxyStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stale = 0;
+  /// LRU capacity evictions plus TTL expiries.
+  std::uint64_t evictions = 0;
+};
+
+class CacheProxy {
+ public:
+  CacheProxy(sim::Simulator& sim, CacheProxyConfig config);
+
+  /// Classifies one request arriving at sim.now(). A miss inserts the
+  /// object (evicting LRU entries for room); a stale hit revalidates and
+  /// refreshes the entry's lifetime.
+  CacheOutcome request(const std::string& path, std::size_t size);
+
+  [[nodiscard]] const CacheProxyStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t resident_bytes() const noexcept { return resident_bytes_; }
+  [[nodiscard]] std::size_t resident_objects() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::size_t size = 0;
+    util::TimePoint fresh_until{};
+    sim::EventId expiry{};
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void insert(const std::string& path, std::size_t size);
+  void evict(std::map<std::string, Entry>::iterator it, bool count_eviction);
+  void arm_expiry(const std::string& path, Entry& e);
+
+  sim::Simulator& sim_;
+  CacheProxyConfig config_;
+  CacheProxyStats stats_;
+  std::map<std::string, Entry> entries_;
+  /// LRU order, most recent at the front; iterators stored in entries_.
+  std::list<std::string> lru_;
+  std::size_t resident_bytes_ = 0;
+};
+
+}  // namespace h2priv::fleet

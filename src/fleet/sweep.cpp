@@ -1,0 +1,90 @@
+#include "h2priv/fleet/sweep.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace h2priv::fleet {
+
+namespace {
+
+/// Fixed-point percent with two decimals — deterministic text, no locale or
+/// floating-format surprises in the report.
+std::string percent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+SweepPoint score_fleet(std::size_t cache_mb, const FleetResult& fleet) {
+  SweepPoint point;
+  point.cache_mb = cache_mb;
+  point.hit_rate = fleet.cache_hit_rate();
+  double html = 0.0, emblems = 0.0, sequence = 0.0;
+  for (const FleetClientResult& c : fleet.clients) {
+    ClientScore s;
+    s.seed = c.profile.seed;
+    s.cache_hits = c.cache_hits;
+    s.cache_misses = c.cache_misses;
+    s.cache_stale = c.cache_stale;
+    s.html_success = c.result.html.attack_success;
+    for (const core::ObjectOutcome& o : c.result.emblems_by_position) {
+      s.emblem_successes += o.attack_success ? 1 : 0;
+    }
+    s.sequence_correct = c.result.sequence_positions_correct;
+    html += s.html_success ? 1.0 : 0.0;
+    emblems += static_cast<double>(s.emblem_successes) / web::kPartyCount;
+    sequence += static_cast<double>(s.sequence_correct) / web::kPartyCount;
+    point.clients.push_back(s);
+  }
+  const auto n = static_cast<double>(fleet.clients.empty() ? 1 : fleet.clients.size());
+  point.html_accuracy = html / n;
+  point.emblem_accuracy = emblems / n;
+  point.sequence_accuracy = sequence / n;
+  return point;
+}
+
+SweepResult run_sweep(const SweepOptions& options) {
+  SweepResult result;
+  result.fleet_clients = options.config.fleet.clients;
+  result.seed = options.config.seed;
+  for (const std::size_t cache_mb : options.cache_sizes_mb) {
+    core::RunConfig cfg = options.config;
+    cfg.fleet.cache_mb = cache_mb;
+    result.points.push_back(score_fleet(cache_mb, run_fleet(cfg, options.parallelism)));
+  }
+  return result;
+}
+
+std::string format_report(const SweepResult& result, bool per_client) {
+  std::string out = "h2t-fleet-sweep v1\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "clients %d seed %" PRIu64 "\n",
+                result.fleet_clients, result.seed);
+  out += line;
+  for (const SweepPoint& p : result.points) {
+    std::snprintf(line, sizeof(line),
+                  "cache_mb %zu hit_rate %s html_acc %s emblem_acc %s seq_acc %s\n",
+                  p.cache_mb, percent(p.hit_rate).c_str(),
+                  percent(p.html_accuracy).c_str(),
+                  percent(p.emblem_accuracy).c_str(),
+                  percent(p.sequence_accuracy).c_str());
+    out += line;
+    if (!per_client) continue;
+    for (std::size_t i = 0; i < p.clients.size(); ++i) {
+      const ClientScore& c = p.clients[i];
+      std::snprintf(line, sizeof(line),
+                    "  client %zu seed %" PRIu64
+                    " hits %" PRIu64 " misses %" PRIu64 " stale %" PRIu64
+                    " html %d emblems %d/%d seq %d/%d\n",
+                    i, c.seed, c.cache_hits, c.cache_misses, c.cache_stale,
+                    c.html_success ? 1 : 0, c.emblem_successes, web::kPartyCount,
+                    c.sequence_correct, web::kPartyCount);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace h2priv::fleet

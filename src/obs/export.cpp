@@ -74,6 +74,11 @@ constexpr std::array<const char*, kCounterCount> kCounterNames = {
     "core.broken_runs",
     "core.browser_rerequests",
     "core.reset_episodes",
+    "fleet.clients",
+    "cache.hits",
+    "cache.misses",
+    "cache.stale",
+    "cache.evictions",
 };
 
 constexpr std::array<const char*, kGaugeCount> kGaugeNames = {
@@ -87,6 +92,7 @@ constexpr std::array<const char*, kHistCount> kHistNames = {
     "tcp.send_buf_occupancy",
     "tls.record_bytes",
     "h2.object_dom_milli",
+    "fleet.client_dom_milli",
 };
 
 constexpr std::array<const char*, 6> kLayerNames = {"sim", "net", "tcp",

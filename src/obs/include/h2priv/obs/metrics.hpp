@@ -113,6 +113,15 @@ enum class Counter : std::uint16_t {
   kCoreBrokenRuns,
   kCoreBrowserRerequests,
   kCoreResetEpisodes,
+  // fleet: N-client scenarios through the shared gateway (src/fleet)
+  kFleetClients,
+  // cache: the fleet reverse-proxy tier's per-request outcomes. kCacheHits..
+  // kCacheStale must stay contiguous: cache_outcome_counter() maps
+  // fleet::CacheOutcome onto this block positionally.
+  kCacheHits,
+  kCacheMisses,
+  kCacheStale,
+  kCacheEvictions,
 
   kCount,
 };
@@ -134,6 +143,7 @@ enum class Hist : std::uint16_t {
   kTcpSendBufOccupancy, ///< live send-buffer bytes sampled at every send()
   kTlsRecordBytes,      ///< plaintext bytes per sealed record (the wire observable)
   kH2ObjectDomMilli,    ///< per-object degree of multiplexing x1000
+  kFleetClientDomMilli, ///< per-client HTML degree of multiplexing x1000
   kCount,
 };
 inline constexpr std::size_t kHistCount = static_cast<std::size_t>(Hist::kCount);
@@ -292,6 +302,13 @@ inline void sample(Hist h, std::uint64_t v) noexcept { current().sample(h, v); }
   constexpr auto base = static_cast<std::uint16_t>(Counter::kH2DataSent);
   return frame_type <= 9 ? static_cast<Counter>(base +
                                                 frame_type) : Counter::kH2OtherSent;
+}
+
+/// Maps a cache-proxy request outcome (fleet::CacheOutcome, encoded 0 = hit,
+/// 1 = miss, 2 = stale) onto the contiguous kCacheHits..kCacheStale block.
+[[nodiscard]] constexpr Counter cache_outcome_counter(unsigned outcome) noexcept {
+  constexpr auto base = static_cast<std::uint16_t>(Counter::kCacheHits);
+  return outcome <= 2 ? static_cast<Counter>(base + outcome) : Counter::kCacheStale;
 }
 
 }  // namespace h2priv::obs

@@ -108,8 +108,10 @@ void H2Server::spawn_handler(std::uint32_t stream_id, const web::SiteObject& obj
   handlers_.emplace(stream_id, std::move(h));
 
   // Thread-dispatch latency plus the object's own service time before the
-  // handler's first write (Fig. 3). Dynamic pages take tens of ms here.
-  const util::Duration mean = config_.handler_start_latency + object.service_time;
+  // handler's first write (Fig. 3). Dynamic pages take tens of ms here. An
+  // upstream tier (fleet cache proxy) may add per-path origin delay on top.
+  util::Duration mean = config_.handler_start_latency + object.service_time;
+  if (config_.origin_delay) mean = mean + config_.origin_delay(object.path);
   const util::Duration sigma = config_.handler_start_sigma + object.service_time / 6;
   const util::Duration latency = rng_.jittered(mean, sigma, util::microseconds(20));
   sim_.schedule(latency, [this, stream_id] { start_handler(stream_id); });

@@ -59,6 +59,15 @@ struct ServerConfig {
   /// the transport's writable watermark or the resume callback never fires.
   std::int64_t transport_backlog_target = 16 * 1024;
 
+  /// Extra origin-side delay added to an object's dispatch latency before
+  /// its handler starts writing — how an upstream tier (the fleet's caching
+  /// reverse proxy) injects per-path miss/revalidation cost without touching
+  /// the wire model. Must be a pure function of the path: it is consulted on
+  /// every request, including browser re-GETs after resets, and determinism
+  /// across replays depends on it returning the same value each time.
+  /// Empty (the default) adds nothing and is byte-identical to no hook.
+  std::function<util::Duration(const std::string& path)> origin_delay;
+
   /// Server push: when a request for a key path arrives, push the mapped
   /// resources unasked (RFC 7540 §8.2). With `randomize_push_order`, the
   /// push order is shuffled per request — the Section VII privacy idea: the

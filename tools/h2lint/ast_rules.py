@@ -44,6 +44,7 @@ SIM_CRITICAL = (
     "src/util",
     "src/defense",
     "src/analysis",
+    "src/fleet",
 )
 THREAD_LOCAL_EXEMPT = ("src/util", "src/obs")
 

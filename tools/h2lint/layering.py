@@ -56,6 +56,7 @@ BASE_DAG: dict[str, frozenset[str]] = {
     "capture": frozenset({"core", "analysis", "web", "tls", "tcp"}),
     "corpus": frozenset({"capture", "core", "analysis"}),
     "defense": frozenset({"corpus", "core", "capture", "sim"}),
+    "fleet": frozenset({"core", "capture", "analysis", "web", "sim"}),
 }
 
 # Deliberate cross-chain edges: (from, to) -> justification. These are

@@ -20,9 +20,12 @@ ACRONYMS holds the tokens whose canonical form does not split (GoAway is
 one RFC 7540 frame name, not two words).
 
 Counters referenced only inside metrics.hpp mapping helpers (e.g.
-h2_frame_sent_counter's contiguous kH2DataSent..kH2OtherSent block) count
-as incremented: the inclusive enum range between the anchors a helper
-names is block-covered.
+h2_frame_sent_counter's contiguous kH2DataSent..kH2OtherSent block, or
+cache_outcome_counter's kCacheHits..kCacheStale block) count as
+incremented: the inclusive enum range between the anchors a helper names
+is block-covered, PER HELPER BODY — ranges never span from one helper's
+anchors to another's, so counters that merely sit between two unrelated
+blocks in the enum stay visible to the dead-counter check.
 """
 
 from __future__ import annotations
@@ -116,22 +119,28 @@ def parse_name_arrays(sf: SourceFile) -> dict[str, tuple[int, list[tuple[str, in
     return arrays
 
 
+HELPER_BODY_RE = re.compile(r"\)\s*(?:const\s*)?(?:noexcept\s*)?\{")
+
+
 def block_covered(sf: SourceFile, enums: dict[str, list[tuple[str, int]]]) -> set[str]:
     """Counter members covered by mapping helpers in metrics.hpp: the
-    inclusive enum range between the anchors each helper references."""
+    inclusive enum range between the anchors each helper references,
+    computed per function body so two unrelated helpers never fuse into
+    one range that swallows every counter declared between them."""
     counters = [m for m, _ in enums.get("Counter", [])]
     index = {m: i for i, m in enumerate(counters)}
     code = sf.code()
     covered: set[str] = set()
-    # Helper bodies = braces after the enum definitions that reference
-    # Counter::k members.
-    anchors = [
-        index[m.group(1)]
-        for m in COUNTER_REF_RE.finditer(code)
-        if m.group(1) in index
-    ]
-    if len(anchors) >= 2:
-        covered.update(counters[min(anchors) : max(anchors) + 1])
+    for h in HELPER_BODY_RE.finditer(code):
+        open_idx = h.end() - 1
+        body = code[open_idx : _matching_brace(code, open_idx) + 1]
+        anchors = [
+            index[m.group(1)]
+            for m in COUNTER_REF_RE.finditer(body)
+            if m.group(1) in index
+        ]
+        if anchors:
+            covered.update(counters[min(anchors) : max(anchors) + 1])
     return covered
 
 

@@ -28,9 +28,12 @@
 #include "h2priv/capture/trace_reader.hpp"
 #include "h2priv/core/experiment.hpp"
 #include "h2priv/core/parallel_runner.hpp"
+#include "h2priv/core/scenario.hpp"
 #include "h2priv/corpus/score.hpp"
 #include "h2priv/corpus/store.hpp"
 #include "h2priv/defense/grid.hpp"
+#include "h2priv/fleet/fleet.hpp"
+#include "h2priv/fleet/sweep.hpp"
 
 using namespace h2priv;
 
@@ -42,7 +45,8 @@ int usage() {
       "usage: h2priv_trace <command> [args]\n"
       "  generate (--out FILE | --corpus DIR --runs N) [--scenario NAME]\n"
       "           [--seed N] [--jobs N] [--shard-capacity N] [--defense NAME]\n"
-      "           scenarios: fig2 | table2 | baseline\n"
+      "           [--fleet N [--cache-mb M]]\n"
+      "           scenarios: %s\n"
       "           defenses: none | pad-random | pad-bucket | quantize | shape\n"
       "                     | quantize+shape | full\n"
       "  inspect FILE.h2t [--packets-csv] [--records-csv]\n"
@@ -54,24 +58,11 @@ int usage() {
       "  recompress --corpus DIR [--jobs N]\n"
       "  grid --root DIR [--runs N] [--seed N] [--jobs N] [--scenario NAME]\n"
       "       [--defenses a,b,c] [--train-mod N] [--out FILE] [--gate]\n"
-      "  digest (FILE.h2t... | --corpus DIR)\n");
+      "  fleet-sweep --clients N [--cache-sizes a,b,c] [--seed N] [--jobs N]\n"
+      "              [--scenario NAME] [--out FILE]\n"
+      "  digest (FILE.h2t... | --corpus DIR)\n",
+      core::scenario_names().c_str());
   return 2;
-}
-
-/// Maps a scenario name onto the RunConfig the golden tests use.
-core::RunConfig scenario_config(const std::string& scenario) {
-  core::RunConfig cfg;
-  if (scenario == "fig2") {
-    cfg.manual_spacing = util::milliseconds(50);
-  } else if (scenario == "table2") {
-    cfg.attack_enabled = true;
-  } else if (scenario == "baseline" || scenario.empty()) {
-    // stock page load, adversary passive
-  } else {
-    throw std::runtime_error("unknown scenario: " + scenario +
-                             " (expected fig2 | table2 | baseline)");
-  }
-  return cfg;
 }
 
 const char* verdict_str(bool b) { return b ? "yes" : "no"; }
@@ -101,7 +92,8 @@ void print_summary(const capture::TraceSummary& s, const char* heading) {
 int cmd_generate(const std::vector<std::string>& args) {
   std::string out, corpus, scenario, defense_arg;
   std::uint64_t seed = 1000;
-  int runs = 1, jobs = 0, shard_capacity = 0;
+  int runs = 1, jobs = 0, shard_capacity = 0, fleet_clients = 0;
+  std::size_t cache_mb = 0;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     const bool has_next = i + 1 < args.size();
@@ -121,6 +113,10 @@ int cmd_generate(const std::vector<std::string>& args) {
       jobs = std::atoi(args[++i].c_str());
     } else if (a == "--shard-capacity" && has_next) {
       shard_capacity = std::atoi(args[++i].c_str());
+    } else if (a == "--fleet" && has_next) {
+      fleet_clients = std::atoi(args[++i].c_str());
+    } else if (a == "--cache-mb" && has_next) {
+      cache_mb = static_cast<std::size_t>(std::strtoull(args[++i].c_str(), nullptr, 10));
     } else {
       std::fprintf(stderr, "generate: bad argument %s\n", a.c_str());
       return 2;
@@ -130,7 +126,7 @@ int cmd_generate(const std::vector<std::string>& args) {
     std::fprintf(stderr, "generate: exactly one of --out / --corpus required\n");
     return 2;
   }
-  core::RunConfig cfg = scenario_config(scenario);
+  core::RunConfig cfg = core::scenario_config(scenario);
   cfg.seed = seed;
   cfg.capture.scenario = scenario.empty() ? "baseline" : scenario;
   if (!defense_arg.empty()) {
@@ -142,6 +138,34 @@ int cmd_generate(const std::vector<std::string>& args) {
     }
     cfg.server.defense = *parsed;
     if (parsed->enabled()) cfg.capture.scenario += "+" + defense_arg;
+  }
+  if (fleet_clients > 0) {
+    if (shard_capacity > 0) {
+      std::fprintf(stderr, "generate: --shard-capacity not supported with --fleet\n");
+      return 2;
+    }
+    cfg.fleet.clients = fleet_clients;
+    cfg.fleet.cache_mb = cache_mb;
+    if (!out.empty()) {
+      cfg.capture.path = out;
+      const fleet::FleetResult r = fleet::run_fleet(cfg, core::Parallelism{jobs});
+      std::uint64_t packets = 0;
+      for (const fleet::FleetClientResult& c : r.clients) packets += c.obs.packets.size();
+      std::printf("wrote %s (%d clients, %llu packets, cache hit rate %.2f%%)\n",
+                  out.c_str(), fleet_clients, static_cast<unsigned long long>(packets),
+                  r.cache_hit_rate() * 100.0);
+      return 0;
+    }
+    cfg.capture.corpus_dir = corpus;
+    const std::vector<fleet::FleetResult> results =
+        fleet::run_fleet_corpus(cfg, runs, core::Parallelism{jobs});
+    std::printf("wrote %zu fleet traces (%d clients each) + manifest.txt to %s\n",
+                results.size(), fleet_clients, corpus.c_str());
+    return 0;
+  }
+  if (cache_mb > 0) {
+    std::fprintf(stderr, "generate: --cache-mb requires --fleet\n");
+    return 2;
   }
   if (!out.empty()) {
     cfg.capture.path = out;
@@ -373,6 +397,8 @@ int cmd_inspect(const std::vector<std::string>& args) {
       case capture::Section::kGroundTruth: name = "ground_truth"; break;
       case capture::Section::kSummary: name = "summary"; break;
       case capture::Section::kBlockIndex: name = "block_index"; break;
+      case capture::Section::kFleet: name = "fleet"; break;
+      case capture::Section::kConnIds: name = "conn_ids"; break;
     }
     total_stored += s.length;
     total_raw += s.raw_length;
@@ -401,6 +427,24 @@ int cmd_inspect(const std::vector<std::string>& args) {
                     : 0.0);
   }
   if (trace.has_summary()) print_summary(trace.summary(), "stored verdict:");
+  if (meta.fleet) {
+    const capture::TraceFile file = capture::TraceFile::open(path);
+    const std::vector<capture::FleetConn> conns = file.fleet();
+    std::printf("fleet: %zu connections\n", conns.size());
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      const capture::FleetConn& c = conns[i];
+      std::printf("  conn %zu seed=%llu start=%.3fs hops=%.1f/%.1fms rate=%lldMbps "
+                  "cache=%llu/%llu/%llu (hit/miss/stale)\n",
+                  i, static_cast<unsigned long long>(c.client_seed),
+                  static_cast<double>(c.start_offset_ns) / 1e9,
+                  static_cast<double>(c.client_hop_delay_ns) / 1e6,
+                  static_cast<double>(c.server_hop_delay_ns) / 1e6,
+                  static_cast<long long>(c.link_rate_bps / 1'000'000),
+                  static_cast<unsigned long long>(c.cache_hits),
+                  static_cast<unsigned long long>(c.cache_misses),
+                  static_cast<unsigned long long>(c.cache_stale));
+    }
+  }
   return 0;
 }
 
@@ -412,7 +456,31 @@ int cmd_export_pcap(const std::vector<std::string>& args) {
   return 0;
 }
 
+int replay_fleet_one(const std::string& path, bool print) {
+  const capture::TraceFile trace = capture::TraceFile::open(path);
+  const std::vector<capture::ReplayResult> results = capture::replay_fleet(trace);
+  int failures = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const capture::ReplayResult& r = results[i];
+    if (print) print_summary(r.summary, ("conn " + std::to_string(i) + ":").c_str());
+    if (!r.records_match || !r.summary_matches) {
+      std::fprintf(stderr, "%s: FAIL — conn %zu %s\n", path.c_str(), i,
+                   r.records_match ? "verdict differs from stored"
+                                   : "replayed records differ from stored");
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("%s: fleet replay ok (%zu connections bit-identical)\n", path.c_str(),
+                results.size());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int replay_one(const std::string& path, bool print) {
+  if (capture::TraceFile::open(path).meta().fleet) {
+    return replay_fleet_one(path, print);
+  }
   const capture::TraceReader trace = capture::TraceReader::open(path);
   const capture::ReplayResult r = capture::replay(trace);
   if (print) print_summary(r.summary, "replayed verdict:");
@@ -486,6 +554,73 @@ int cmd_recompress(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_fleet_sweep(const std::vector<std::string>& args) {
+  std::string out;
+  std::string scenario = "table2";  // attack on: verdicts per cache size
+  std::uint64_t seed = 1000;
+  int clients = 0;
+  std::vector<std::size_t> cache_sizes;
+  core::Parallelism parallelism{};
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const bool has_next = i + 1 < args.size();
+    if (a == "--clients" && has_next) {
+      clients = std::atoi(args[++i].c_str());
+    } else if (a == "--cache-sizes" && has_next) {
+      std::string list = args[++i];
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > start) {
+          cache_sizes.push_back(static_cast<std::size_t>(
+              std::strtoull(list.substr(start, end - start).c_str(), nullptr, 10)));
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (a == "--seed" && has_next) {
+      seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (a == "--jobs" && has_next) {
+      parallelism = core::Parallelism{std::atoi(args[++i].c_str())};
+    } else if (a == "--scenario" && has_next) {
+      scenario = args[++i];
+    } else if (a == "--out" && has_next) {
+      out = args[++i];
+    } else {
+      std::fprintf(stderr, "fleet-sweep: bad argument %s\n", a.c_str());
+      return 2;
+    }
+  }
+  if (clients <= 0) {
+    std::fprintf(stderr, "fleet-sweep: --clients N required\n");
+    return 2;
+  }
+  fleet::SweepOptions options;
+  options.config = core::scenario_config(scenario);
+  options.config.seed = seed;
+  options.config.capture.scenario = scenario;
+  options.config.fleet.clients = clients;
+  options.parallelism = parallelism;
+  if (!cache_sizes.empty()) options.cache_sizes_mb = std::move(cache_sizes);
+  const fleet::SweepResult result = fleet::run_sweep(options);
+  const std::string text = fleet::format_report(result);
+  if (out.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream os(out, std::ios::binary | std::ios::trunc);
+    os << text;
+    os.flush();
+    if (!os) {
+      std::fprintf(stderr, "fleet-sweep: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu cache sizes x %d clients)\n", out.c_str(),
+                result.points.size(), result.fleet_clients);
+  }
+  return 0;
+}
+
 int cmd_digest(const std::vector<std::string>& args) {
   if (args.size() == 2 && args[0] == "--corpus") {
     const capture::Manifest manifest =
@@ -523,6 +658,7 @@ int main(int argc, char** argv) {
     if (cmd == "score") return cmd_score(args);
     if (cmd == "recompress") return cmd_recompress(args);
     if (cmd == "grid") return cmd_grid(args);
+    if (cmd == "fleet-sweep") return cmd_fleet_sweep(args);
     if (cmd == "digest") return cmd_digest(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "h2priv_trace: %s\n", e.what());

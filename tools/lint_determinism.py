@@ -78,6 +78,9 @@ SIM_CRITICAL = (
     # traces feeding it; both are CI-cmp'd byte surfaces at any --jobs.
     "src/defense",
     "src/analysis",
+    # fleet merges N clients' observations into one trace and runs the cache
+    # admission pre-pass; its manifests are CI-cmp'd at --jobs 1 vs 4.
+    "src/fleet",
 )
 ALL_SRC = ("src",)
 THREAD_LOCAL_EXEMPT = ("src/util", "src/obs")
